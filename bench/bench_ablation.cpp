@@ -1,0 +1,92 @@
+// Ablation — attributing the §4.3 savings to individual techniques.
+//
+// The paper evaluates the three communication-saving techniques only as a
+// bundle (Figure 4); DESIGN.md calls out that they are independent design
+// choices, so this bench toggles them one at a time:
+//
+//   baseline      optimized_checks = false   (Figure 1a pattern)
+//   one-sided     §4.3.1 only                (no redundant check, no prune)
+//   + redundant   §4.3.1 + §4.3.2
+//   + prune       §4.3.1 + §4.3.3
+//   full          all three (the Figure 4 "optimized" configuration)
+//
+// It also verifies the ablations do not cost quality (recall per config).
+#include <cinttypes>
+
+#include "common.hpp"
+
+using namespace dnnd;  // NOLINT
+
+namespace {
+
+struct Config {
+  const char* label;
+  bool optimized;
+  bool redundant;
+  bool prune;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: per-technique attribution of the Section 4.3 savings");
+
+  const double scale = bench::bench_scale();
+  const auto n = static_cast<std::size_t>(4000.0 * scale);
+  const data::GaussianMixture family(bench::billion_standin_spec(96, 107));
+  const auto base = family.sample(n, 1);
+  const auto exact = baselines::brute_force_knn_graph(base, bench::L2Fn{}, 10);
+
+  const Config configs[] = {
+      {"baseline (Fig 1a)", false, false, false},
+      {"one-sided only", true, false, false},
+      {"one-sided + redundant", true, true, false},
+      {"one-sided + prune", true, false, true},
+      {"full (Fig 1b)", true, true, true},
+  };
+
+  std::printf("%-24s %12s %14s %10s %8s\n", "configuration", "messages",
+              "bytes", "recall", "iters");
+  bench::print_rule();
+
+  std::uint64_t baseline_msgs = 0, baseline_bytes = 0;
+  for (const auto& config : configs) {
+    comm::Environment env(comm::Config{.num_ranks = 8});
+    core::DnndConfig cfg;
+    cfg.k = 10;
+    cfg.optimized_checks = config.optimized;
+    cfg.redundant_check_reduction = config.redundant;
+    cfg.distance_pruning = config.prune;
+    core::DnndRunner<float, bench::L2Fn> runner(env, cfg, bench::L2Fn{});
+    runner.distribute(base);
+    const auto stats = runner.build();
+    const auto comm_stats = env.aggregate_stats();
+    std::uint64_t messages = 0, bytes = 0;
+    for (const char* label :
+         {"type1", "type2plus", "type3", "type1_unopt", "type2_unopt"}) {
+      const auto c = comm_stats.by_label(label);
+      messages += c.remote_messages;
+      bytes += c.remote_bytes;
+    }
+    if (baseline_msgs == 0) {
+      baseline_msgs = messages;
+      baseline_bytes = bytes;
+    }
+    const double recall = core::graph_recall(runner.gather(), exact, 10);
+    std::printf("%-24s %12" PRIu64 " %14" PRIu64 " %10.4f %8zu   "
+                "(%.0f%% msgs, %.0f%% bytes of baseline)\n",
+                config.label, messages, bytes, recall, stats.iterations,
+                100.0 * static_cast<double>(messages) /
+                    static_cast<double>(baseline_msgs),
+                100.0 * static_cast<double>(bytes) /
+                    static_cast<double>(baseline_bytes));
+  }
+
+  std::printf(
+      "\nExpected shape: one-sided alone already halves Type-1 traffic; the "
+      "redundant\ncheck removes Type-2+ sends; pruning removes Type-3 "
+      "replies; recall is flat\nacross all rows (the techniques are "
+      "lossless).\n");
+  return 0;
+}

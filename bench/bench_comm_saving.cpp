@@ -1,0 +1,112 @@
+// Figure 4 — effectiveness of the §4.3 communication-saving techniques.
+//
+// Paper setup: k = 10, 16 nodes, both billion-scale datasets; counts the
+// messages sent during neighbor checks and their total size, comparing the
+// unoptimized pattern (Type 1 + Type 2) against the optimized one (Type 1
+// + Type 2+ + Type 3). Reported outcome: ~50% reduction in both message
+// count and volume.
+//
+// Here: identical message taxonomy on the DEEP1B / BigANN stand-ins with
+// k = 10 and 16 simulated ranks. "Off-node" messages are those whose
+// destination rank differs from the source, exactly what the per-handler
+// counters in the comm layer record.
+#include <cinttypes>
+
+#include "common.hpp"
+
+using namespace dnnd;  // NOLINT
+
+namespace {
+
+struct CommTotals {
+  std::uint64_t type1 = 0, type2 = 0, type2plus = 0, type3 = 0;
+  std::uint64_t bytes1 = 0, bytes2 = 0, bytes2plus = 0, bytes3 = 0;
+
+  [[nodiscard]] std::uint64_t messages() const {
+    return type1 + type2 + type2plus + type3;
+  }
+  [[nodiscard]] std::uint64_t bytes() const {
+    return bytes1 + bytes2 + bytes2plus + bytes3;
+  }
+};
+
+template <typename T, typename Fn>
+CommTotals run(const core::FeatureStore<T>& base, Fn fn, bool optimized) {
+  comm::Environment env(comm::Config{.num_ranks = 16});
+  core::DnndConfig cfg;
+  cfg.k = 10;
+  cfg.optimized_checks = optimized;
+  core::DnndRunner<T, Fn> runner(env, cfg, fn);
+  runner.distribute(base);
+  runner.build();
+  const auto stats = env.aggregate_stats();
+  CommTotals totals;
+  const auto t1o = stats.by_label("type1");
+  const auto t1u = stats.by_label("type1_unopt");
+  totals.type1 = t1o.remote_messages + t1u.remote_messages;
+  totals.bytes1 = t1o.remote_bytes + t1u.remote_bytes;
+  const auto t2 = stats.by_label("type2_unopt");
+  totals.type2 = t2.remote_messages;
+  totals.bytes2 = t2.remote_bytes;
+  const auto t2p = stats.by_label("type2plus");
+  totals.type2plus = t2p.remote_messages;
+  totals.bytes2plus = t2p.remote_bytes;
+  const auto t3 = stats.by_label("type3");
+  totals.type3 = t3.remote_messages;
+  totals.bytes3 = t3.remote_bytes;
+  return totals;
+}
+
+void report(const char* dataset, const CommTotals& unopt,
+            const CommTotals& opt) {
+  std::printf("\n-- %s (k=10, 16 ranks) --\n", dataset);
+  std::printf("%-22s %14s %14s\n", "", "unoptimized", "optimized");
+  std::printf("%-22s %14" PRIu64 " %14" PRIu64 "\n", "Type 1 messages",
+              unopt.type1, opt.type1);
+  std::printf("%-22s %14" PRIu64 " %14s\n", "Type 2 messages", unopt.type2,
+              "-");
+  std::printf("%-22s %14s %14" PRIu64 "\n", "Type 2+ messages", "-",
+              opt.type2plus);
+  std::printf("%-22s %14s %14" PRIu64 "\n", "Type 3 messages", "-",
+              opt.type3);
+  std::printf("%-22s %14" PRIu64 " %14" PRIu64 "  (%.1f%% of unoptimized)\n",
+              "Total messages (4a)", unopt.messages(), opt.messages(),
+              100.0 * static_cast<double>(opt.messages()) /
+                  static_cast<double>(unopt.messages()));
+  std::printf("%-22s %14" PRIu64 " %14" PRIu64 "  (%.1f%% of unoptimized)\n",
+              "Total bytes (4b)", unopt.bytes(), opt.bytes(),
+              100.0 * static_cast<double>(opt.bytes()) /
+                  static_cast<double>(unopt.bytes()));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 4: neighbor-check communication, unoptimized vs optimized "
+      "(paper: ~50% reduction in count and volume)");
+
+  const double scale = bench::bench_scale();
+  const auto n = static_cast<std::size_t>(8000.0 * scale);
+
+  {
+    const auto base =
+        data::GaussianMixture(bench::billion_standin_spec(96, 107))
+            .sample(n, 1);
+    report("Yandex DEEP 1B stand-in (96-d float32)",
+           run(base, bench::L2Fn{}, false), run(base, bench::L2Fn{}, true));
+  }
+  {
+    const auto base =
+        data::GaussianMixture(bench::billion_standin_spec(128, 108))
+            .sample_u8(n, 1);
+    report("BigANN stand-in (128-d uint8)", run(base, bench::L2U8Fn{}, false),
+           run(base, bench::L2U8Fn{}, true));
+  }
+
+  std::printf(
+      "\nNote: BigANN rows carry uint8 features, so its Type 2/2+ bytes are "
+      "~4x smaller\nthan DEEP's at equal dimension count — the Figure 4b "
+      "asymmetry in the paper.\n");
+  return 0;
+}

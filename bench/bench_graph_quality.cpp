@@ -1,0 +1,80 @@
+// §5.2 — Preliminary NN graph quality evaluation.
+//
+// Paper: DNND on the six small Table-1 datasets, k = 100, recall against a
+// brute-force k-NNG; reported 0.93 (NYTimes), 0.98 (Last.fm), ≥0.99 for
+// the rest. Here: the six synthetic stand-ins at scaled size with a
+// proportionally scaled k, same brute-force methodology. The claim being
+// reproduced is "DNND constructs high-quality k-NNGs on every metric
+// family", i.e. recall well above 0.9 across the board.
+#include "common.hpp"
+
+using namespace dnnd;  // NOLINT
+
+namespace {
+
+struct Row {
+  std::string name;
+  std::size_t n;
+  std::size_t k;
+  double recall;
+  std::size_t iterations;
+  double wall_s;
+};
+
+template <typename T, typename Fn>
+Row run_one(const std::string& name, const core::FeatureStore<T>& base,
+            Fn fn, std::size_t k) {
+  comm::Environment env(comm::Config{.num_ranks = 8});
+  core::DnndConfig cfg;
+  cfg.k = k;
+  core::DnndRunner<T, Fn> runner(env, cfg, fn);
+  runner.distribute(base);
+  util::Timer timer;
+  const auto stats = runner.build();
+  const double wall = timer.elapsed_s();
+  const auto exact = baselines::brute_force_knn_graph(base, fn, k);
+  return Row{name, base.size(), k,
+             core::graph_recall(runner.gather(), exact, k), stats.iterations,
+             wall};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Section 5.2: DNND graph recall vs brute force (paper: k=100, "
+      "0.93-0.99+; stand-ins scaled)");
+  std::printf("%-15s %8s %5s %10s %7s %9s\n", "Dataset", "Points", "k",
+              "Recall", "Iters", "Build[s]");
+  bench::print_rule();
+
+  const double scale = bench::bench_scale();
+  constexpr std::size_t kNeighbors = 16;  // k=100 scaled to stand-in sizes
+  std::vector<Row> rows;
+
+  for (const char* name : {"fashion-mnist", "glove-25", "mnist", "nytimes",
+                           "lastfm"}) {
+    const auto& spec = data::dataset_by_name(name);
+    const auto ds = data::make_dense_float(spec, 0.25 * scale, 0);
+    if (spec.metric == core::Metric::kCosine) {
+      rows.push_back(run_one(name, ds.base, bench::CosFn{}, kNeighbors));
+    } else {
+      rows.push_back(run_one(name, ds.base, bench::L2Fn{}, kNeighbors));
+    }
+  }
+  {
+    const auto& spec = data::dataset_by_name("kosarak");
+    const auto ds = data::make_sparse(spec, 0.25 * scale, 0);
+    rows.push_back(run_one("kosarak", ds.base, bench::JacFn{}, kNeighbors));
+  }
+
+  for (const auto& row : rows) {
+    std::printf("%-15s %8zu %5zu %10.4f %7zu %9.2f\n", row.name.c_str(),
+                row.n, row.k, row.recall, row.iterations, row.wall_s);
+  }
+
+  std::printf(
+      "\nPaper reference: NYTimes 0.93, Last.fm 0.98, others >= 0.99 "
+      "(k=100, full-size corpora).\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Microbenchmarks (google-benchmark) for the hot kernels under the
+// experiment harness: distance metrics, neighbor-list updates, message
+// serialization, the comm layer round trip, and pmem allocation.
+//
+// These are not paper experiments; they exist so regressions in the
+// substrate are visible independently of the end-to-end benches.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "comm/environment.hpp"
+#include "core/distance.hpp"
+#include "core/neighbor_list.hpp"
+#include "pmem/allocator.hpp"
+#include "pmem/arena.hpp"
+#include "serial/archive.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dnnd;  // NOLINT
+
+std::vector<float> random_vector(std::size_t dim, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<float> v(dim);
+  for (auto& x : v) x = rng.uniform_float(-1, 1);
+  return v;
+}
+
+void BM_SquaredL2(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vector(dim, 1), b = random_vector(dim, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::squared_l2(std::span<const float>(a), std::span<const float>(b)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_SquaredL2)->Arg(25)->Arg(96)->Arg(128)->Arg(784);
+
+void BM_Cosine(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vector(dim, 1), b = random_vector(dim, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::cosine(std::span<const float>(a), std::span<const float>(b)));
+  }
+}
+BENCHMARK(BM_Cosine)->Arg(25)->Arg(96)->Arg(256);
+
+void BM_JaccardSorted(benchmark::State& state) {
+  const auto size = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(3);
+  std::vector<std::uint32_t> a, b;
+  for (std::uint32_t i = 0; a.size() < size; ++i) {
+    if (rng.bernoulli(0.5)) a.push_back(i);
+  }
+  for (std::uint32_t i = 0; b.size() < size; ++i) {
+    if (rng.bernoulli(0.5)) b.push_back(i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::jaccard_sorted(
+        std::span<const std::uint32_t>(a), std::span<const std::uint32_t>(b)));
+  }
+}
+BENCHMARK(BM_JaccardSorted)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_NeighborListUpdate(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  util::Xoshiro256 rng(4);
+  core::NeighborList list(k);
+  std::uint64_t inserted = 0;
+  for (auto _ : state) {
+    inserted += static_cast<std::uint64_t>(
+        list.update(static_cast<core::VertexId>(rng.uniform_below(100000)),
+                    static_cast<core::Dist>(rng.uniform_double()), true));
+  }
+  benchmark::DoNotOptimize(inserted);
+}
+BENCHMARK(BM_NeighborListUpdate)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_SerializeFeatureMessage(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto feature = random_vector(dim, 5);
+  for (auto _ : state) {
+    serial::OutArchive out;
+    out.write(core::VertexId{1});
+    out.write(core::VertexId{2});
+    out.write(core::Dist{3.5f});
+    out.write_vector(feature);
+    benchmark::DoNotOptimize(out.bytes().data());
+  }
+}
+BENCHMARK(BM_SerializeFeatureMessage)->Arg(96)->Arg(128);
+
+void BM_CommRoundTrip(benchmark::State& state) {
+  // One barrier-delimited all-to-all of small messages across 4 ranks.
+  const int ranks = 4;
+  comm::Environment env(comm::Config{.num_ranks = ranks});
+  std::vector<comm::HandlerId> h(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    h[static_cast<std::size_t>(r)] = env.comm(r).register_handler(
+        "noop", [](int, serial::InArchive& ar) { ar.read<std::uint32_t>(); });
+  }
+  for (auto _ : state) {
+    env.execute_phase([&](int rank) {
+      for (int dest = 0; dest < ranks; ++dest) {
+        for (int i = 0; i < 16; ++i) {
+          env.comm(rank).async(dest, h[static_cast<std::size_t>(rank)],
+                               std::uint32_t{7});
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          ranks * ranks * 16);
+}
+BENCHMARK(BM_CommRoundTrip);
+
+void BM_ArenaAllocateFree(benchmark::State& state) {
+  std::vector<unsigned char> buffer(16 << 20);
+  auto* header = reinterpret_cast<pmem::ArenaHeader*>(buffer.data());
+  pmem::arena_format(header, buffer.size());
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    void* p = pmem::arena_allocate(header, bytes);
+    benchmark::DoNotOptimize(p);
+    pmem::arena_deallocate(header, p, bytes);
+  }
+}
+BENCHMARK(BM_ArenaAllocateFree)->Arg(32)->Arg(512)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

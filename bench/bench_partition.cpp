@@ -1,0 +1,107 @@
+// Partitioning ablation — hash (the paper's §4 scheme) vs locality-aware
+// placement (RP-tree reorder + range partition, Pyramid-style).
+//
+// The paper partitions "based on the hash values of the vertex IDs" and
+// never revisits the choice; its related-work section cites Pyramid,
+// which partitions by data locality. This bench quantifies the tradeoff
+// the choice embodies: hash gives perfect balance but no locality (every
+// neighbor check is off-node with probability (R-1)/R), locality keeps
+// same-cluster checks on-node at the risk of imbalance.
+#include <cinttypes>
+
+#include "common.hpp"
+#include "core/partition.hpp"
+
+using namespace dnnd;  // NOLINT
+
+namespace {
+
+struct Outcome {
+  double recall = 0;
+  std::uint64_t remote_messages = 0;
+  std::uint64_t remote_bytes = 0;
+  double sim_units = 0;
+  std::uint64_t max_rank_points = 0;
+};
+
+Outcome run(const core::FeatureStore<float>& base,
+            std::optional<core::Partition> partition, int ranks,
+            const core::KnnGraph& exact) {
+  comm::Environment env(comm::Config{.num_ranks = ranks});
+  core::DnndConfig cfg;
+  cfg.k = 10;
+  core::DnndRunner<float, bench::L2Fn> runner(env, cfg, bench::L2Fn{}, {},
+                                              std::move(partition));
+  runner.distribute(base);
+  const auto stats = runner.build();
+  Outcome out;
+  out.recall = core::graph_recall(runner.gather(), exact, 10);
+  const auto comm_stats = env.aggregate_stats();
+  out.remote_messages = comm_stats.total_remote_messages();
+  out.remote_bytes = comm_stats.total_remote_bytes();
+  out.sim_units = stats.simulated_parallel_units;
+  for (int r = 0; r < ranks; ++r) {
+    out.max_rank_points = std::max<std::uint64_t>(
+        out.max_rank_points, runner.engine(r).local_point_count());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Partitioning ablation: hash (paper) vs RP-locality placement");
+
+  const double scale = bench::bench_scale();
+  const auto n = static_cast<std::size_t>(6000.0 * scale);
+  constexpr int kRanks = 16;
+
+  // Moderately separated clusters: the regime where locality placement
+  // has something to exploit.
+  data::MixtureSpec spec;
+  spec.dim = 32;
+  spec.num_clusters = 32;
+  spec.center_range = 5.0f;
+  spec.cluster_std = 1.2f;
+  spec.seed = 271;
+  const auto base = data::GaussianMixture(spec).sample(n, 1);
+  const auto exact = baselines::brute_force_knn_graph(base, bench::L2Fn{}, 10);
+
+  const auto hash = run(base, std::nullopt, kRanks, exact);
+
+  const auto order = core::rp_tree_order(base);
+  const auto [reordered, original] = core::reorder_dense(base, order);
+  // Ground truth ids change with the reorder; recompute.
+  const auto exact_reordered =
+      baselines::brute_force_knn_graph(reordered, bench::L2Fn{}, 10);
+  const auto locality = run(reordered,
+                            core::Partition::even_ranges(reordered.size(),
+                                                         kRanks),
+                            kRanks, exact_reordered);
+
+  std::printf("%-22s %14s %14s\n", "", "hash", "rp-locality");
+  std::printf("%-22s %14.4f %14.4f\n", "graph recall", hash.recall,
+              locality.recall);
+  std::printf("%-22s %14" PRIu64 " %14" PRIu64 "  (%.0f%%)\n",
+              "off-node messages", hash.remote_messages,
+              locality.remote_messages,
+              100.0 * static_cast<double>(locality.remote_messages) /
+                  static_cast<double>(hash.remote_messages));
+  std::printf("%-22s %14" PRIu64 " %14" PRIu64 "  (%.0f%%)\n",
+              "off-node bytes", hash.remote_bytes, locality.remote_bytes,
+              100.0 * static_cast<double>(locality.remote_bytes) /
+                  static_cast<double>(hash.remote_bytes));
+  std::printf("%-22s %14.3e %14.3e\n", "sim-units", hash.sim_units,
+              locality.sim_units);
+  std::printf("%-22s %14" PRIu64 " %14" PRIu64 "  (ideal %zu)\n",
+              "max points per rank", hash.max_rank_points,
+              locality.max_rank_points, n / kRanks);
+
+  std::printf(
+      "\nReading guide: locality placement trades a little balance (max "
+      "points per\nrank) for a sizeable cut in off-node traffic; the hash "
+      "scheme the paper uses\nis the simplest and most balanced but pays "
+      "full communication.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Shared infrastructure for the experiment-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper at
+// simulation scale (DESIGN.md §4 maps experiment → binary). The knobs
+// below scale the workloads: DNND_BENCH_SCALE (float multiplier on point
+// counts, default 1.0) lets a beefier machine run closer to paper scale
+// without recompiling.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "baselines/brute_force.hpp"
+#include "baselines/hnsw.hpp"
+#include "comm/environment.hpp"
+#include "core/distance.hpp"
+#include "core/dnnd_runner.hpp"
+#include "core/knn_query.hpp"
+#include "core/nn_descent.hpp"
+#include "core/recall.hpp"
+#include "data/datasets.hpp"
+#include "data/synthetic.hpp"
+#include "util/timer.hpp"
+
+namespace dnnd::bench {
+
+struct L2Fn {
+  float operator()(std::span<const float> a, std::span<const float> b) const {
+    return core::l2(a, b);
+  }
+};
+struct L2U8Fn {
+  float operator()(std::span<const std::uint8_t> a,
+                   std::span<const std::uint8_t> b) const {
+    return core::l2(a, b);
+  }
+};
+struct CosFn {
+  float operator()(std::span<const float> a, std::span<const float> b) const {
+    return core::cosine(a, b);
+  }
+};
+struct JacFn {
+  float operator()(std::span<const std::uint32_t> a,
+                   std::span<const std::uint32_t> b) const {
+    return core::jaccard_sorted(a, b);
+  }
+};
+
+inline double bench_scale() {
+  if (const char* env = std::getenv("DNND_BENCH_SCALE")) {
+    const double s = std::atof(env);
+    if (s > 0) return s;
+  }
+  return 1.0;
+}
+
+/// Billion-scale stand-in (DEEP1B-like unless u8): overlapping clusters so
+/// the k-NN graph is connected, as real embedding corpora are. The
+/// center_range/cluster_std ratio is calibrated (see EXPERIMENTS.md):
+/// wider ranges give near-perfect graph recall but a disconnected k-NN
+/// graph that no greedy search can traverse; this setting keeps graph
+/// recall ≈ 0.99 while epsilon sweeps trace the paper's recall range.
+inline data::MixtureSpec billion_standin_spec(std::size_t dim,
+                                              std::uint64_t seed) {
+  data::MixtureSpec spec;
+  spec.dim = dim;
+  spec.num_clusters = 64;
+  spec.center_range = 2.0f;
+  spec.cluster_std = 1.5f;
+  spec.seed = seed;
+  return spec;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void print_rule() {
+  std::printf("--------------------------------------------------------------------------\n");
+}
+
+/// Mean recall@k of a batch of SearchResults against brute-force truth.
+inline double recall_of(const std::vector<core::SearchResult>& results,
+                        const std::vector<std::vector<core::VertexId>>& truth,
+                        std::size_t k) {
+  std::vector<std::vector<core::Neighbor>> computed;
+  computed.reserve(results.size());
+  for (const auto& r : results) computed.push_back(r.neighbors);
+  return core::mean_query_recall(computed, truth, k);
+}
+
+}  // namespace dnnd::bench

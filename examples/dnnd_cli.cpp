@@ -1,0 +1,253 @@
+// dnnd_cli — file-based end-to-end tool, the shape of the paper's actual
+// executables (§5.1.3): dataset files in ANN-benchmark formats, a
+// persistent datastore between steps, and a query step that reads
+// features zero-copy out of the datastore.
+//
+//   dnnd_cli gen   <dataset> <prefix> [n] [nq]
+//       synthesize a Table-1 stand-in: <prefix>.base.fvecs|u8bin,
+//       <prefix>.query.*, <prefix>.gt.ivecs (exact ground truth)
+//   dnnd_cli build <base-file> <datastore> [k] [ranks]
+//       DNND build + §4.5 optimize + persist graph and features
+//   dnnd_cli query <datastore> <query-file> [gt.ivecs] [epsilon]
+//       reopen, batch-search, report QPS (and recall when gt given)
+//   dnnd_cli info  <datastore>
+//
+// File type is inferred from the extension: .fvecs/.fbin = float32,
+// .bvecs/.u8bin = uint8. Metric is L2 (the billion-scale datasets').
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "baselines/brute_force.hpp"
+#include "comm/environment.hpp"
+#include "core/distance.hpp"
+#include "core/dnnd_runner.hpp"
+#include "core/knn_query.hpp"
+#include "core/persistent_graph.hpp"
+#include "core/recall.hpp"
+#include "data/datasets.hpp"
+#include "data/io.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace dnnd;
+
+struct L2F {
+  float operator()(std::span<const float> a, std::span<const float> b) const {
+    return core::l2(a, b);
+  }
+};
+struct L2U8 {
+  float operator()(std::span<const std::uint8_t> a,
+                   std::span<const std::uint8_t> b) const {
+    return core::l2(a, b);
+  }
+};
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_u8_file(const std::string& path) {
+  return ends_with(path, ".bvecs") || ends_with(path, ".u8bin");
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s gen   <dataset> <prefix> [n] [nq]\n"
+               "       %s build <base-file> <datastore> [k] [ranks]\n"
+               "       %s query <datastore> <query-file> [gt.ivecs] [eps]\n"
+               "       %s info  <datastore>\n",
+               argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+int cmd_gen(int argc, char** argv) {
+  const std::string name = argv[2];
+  const std::string prefix = argv[3];
+  const std::size_t n =
+      argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 0;
+  const std::size_t nq =
+      argc > 5 ? static_cast<std::size_t>(std::atoll(argv[5])) : 100;
+  const auto& spec = data::dataset_by_name(name);
+  const double scale =
+      n > 0 ? static_cast<double>(n) / static_cast<double>(spec.scaled_entries)
+            : 1.0;
+
+  if (spec.element == data::ElementKind::kUint8) {
+    const auto ds = data::make_dense_u8(spec, scale, nq);
+    data::write_u8bin(prefix + ".base.u8bin", ds.base);
+    data::write_u8bin(prefix + ".query.u8bin", ds.queries);
+    const auto gt =
+        baselines::brute_force_query_batch(ds.base, ds.queries, L2U8{}, 10);
+    data::write_ivecs(prefix + ".gt.ivecs", gt);
+    std::printf("wrote %zu base + %zu query points (uint8) + ground truth\n",
+                ds.base.size(), ds.queries.size());
+  } else if (spec.element == data::ElementKind::kFloat32) {
+    const auto ds = data::make_dense_float(spec, scale, nq);
+    data::write_fvecs(prefix + ".base.fvecs", ds.base);
+    data::write_fvecs(prefix + ".query.fvecs", ds.queries);
+    const auto gt =
+        baselines::brute_force_query_batch(ds.base, ds.queries, L2F{}, 10);
+    data::write_ivecs(prefix + ".gt.ivecs", gt);
+    std::printf("wrote %zu base + %zu query points (float32) + ground truth\n",
+                ds.base.size(), ds.queries.size());
+  } else {
+    std::fprintf(stderr, "gen: sparse datasets have no file format here\n");
+    return 1;
+  }
+  return 0;
+}
+
+template <typename T, typename Fn>
+int build_typed(const core::FeatureStore<T>& base, const std::string& store,
+                std::size_t k, int ranks) {
+  comm::Environment env(comm::Config{.num_ranks = ranks});
+  core::DnndConfig cfg;
+  cfg.k = k;
+  core::DnndRunner<T, Fn> runner(env, cfg, Fn{});
+  runner.distribute(base);
+  util::Timer timer;
+  const auto stats = runner.build();
+  runner.optimize();
+  std::printf("built k=%zu graph over %zu points on %d ranks: %zu iters, "
+              "%.2fs wall, %.3e sim-units\n",
+              k, base.size(), ranks, stats.iterations, timer.elapsed_s(),
+              runner.last_build_stats().simulated_parallel_units);
+
+  // Size the store from the data: features + graph + slack.
+  const std::size_t bytes =
+      (base.size() * (base.dim() * sizeof(T) + 64) +
+       base.size() * static_cast<std::size_t>(static_cast<double>(k) * 1.5) *
+           sizeof(core::Neighbor)) *
+          4 +
+      (64 << 20);
+  auto mgr = pmem::Manager::create(store, bytes);
+  core::store_graph(mgr, runner.gather(), "knng");
+  core::store_features(mgr, base, "points");
+  core::IndexMetadata meta;
+  meta.set_metric("L2");
+  meta.k = static_cast<std::uint32_t>(k);
+  meta.dim = static_cast<std::uint32_t>(base.dim());
+  meta.num_points = base.size();
+  meta.build_seed = cfg.seed;
+  core::store_index_metadata(mgr, meta);
+  mgr.flush();
+  std::printf("datastore %s: %zu / %zu bytes allocated\n", store.c_str(),
+              mgr.allocated_bytes(), mgr.capacity_bytes());
+  return 0;
+}
+
+int cmd_build(int argc, char** argv) {
+  const std::string base_file = argv[2];
+  const std::string store = argv[3];
+  const std::size_t k =
+      argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 10;
+  const int ranks = argc > 5 ? std::atoi(argv[5]) : 8;
+
+  if (is_u8_file(base_file)) {
+    const auto base = ends_with(base_file, ".bvecs")
+                          ? data::read_bvecs(base_file)
+                          : data::read_u8bin(base_file);
+    return build_typed<std::uint8_t, L2U8>(base, store, k, ranks);
+  }
+  const auto base = ends_with(base_file, ".fvecs")
+                        ? data::read_fvecs(base_file)
+                        : data::read_fbin(base_file);
+  return build_typed<float, L2F>(base, store, k, ranks);
+}
+
+template <typename T, typename Fn>
+int query_typed(pmem::Manager& mgr, const core::FeatureStore<T>& queries,
+                const std::string& gt_file, double epsilon) {
+  // Refuse to search with the wrong metric or dimensionality.
+  const auto meta = core::load_index_metadata(mgr);
+  core::validate_index_metadata(meta, "L2", queries.dim());
+  const auto graph = core::load_graph(mgr, "knng");
+  // Zero-copy feature access straight out of the mapping.
+  const core::PersistentFeatureView<T> view(mgr, "points");
+  core::GraphSearcher searcher(graph, view, Fn{});
+  core::SearchParams params;
+  params.num_neighbors = 10;
+  params.epsilon = epsilon;
+  params.num_entry_points = 24;
+
+  util::Timer timer;
+  const auto results = searcher.batch_search(queries, params, 2);
+  const double seconds = timer.elapsed_s();
+  std::uint64_t evals = 0;
+  for (const auto& r : results) evals += r.distance_evals;
+  std::printf("%zu queries, epsilon %.3f: %.0f qps, %.0f evals/query\n",
+              queries.size(), epsilon,
+              static_cast<double>(queries.size()) / seconds,
+              static_cast<double>(evals) / static_cast<double>(queries.size()));
+
+  if (!gt_file.empty()) {
+    const auto truth = data::read_ivecs(gt_file);
+    std::vector<std::vector<core::Neighbor>> computed;
+    computed.reserve(results.size());
+    for (const auto& r : results) computed.push_back(r.neighbors);
+    std::printf("recall@10: %.4f\n",
+                core::mean_query_recall(computed, truth, 10));
+  }
+  return 0;
+}
+
+int cmd_query(int argc, char** argv) {
+  const std::string store = argv[2];
+  const std::string query_file = argv[3];
+  const std::string gt_file = argc > 4 ? argv[4] : "";
+  const double epsilon = argc > 5 ? std::atof(argv[5]) : 0.2;
+  auto mgr = pmem::Manager::open(store);
+  if (is_u8_file(query_file)) {
+    const auto queries = ends_with(query_file, ".bvecs")
+                             ? data::read_bvecs(query_file)
+                             : data::read_u8bin(query_file);
+    return query_typed<std::uint8_t, L2U8>(mgr, queries, gt_file, epsilon);
+  }
+  const auto queries = ends_with(query_file, ".fvecs")
+                           ? data::read_fvecs(query_file)
+                           : data::read_fbin(query_file);
+  return query_typed<float, L2F>(mgr, queries, gt_file, epsilon);
+}
+
+int cmd_info(int, char** argv) {
+  auto mgr = pmem::Manager::open(argv[2]);
+  std::printf("datastore %s\n", argv[2]);
+  std::printf("  capacity  %zu bytes\n", mgr.capacity_bytes());
+  std::printf("  allocated %zu bytes\n", mgr.allocated_bytes());
+  std::printf("  has graph    : %s\n", mgr.contains("knng") ? "yes" : "no");
+  std::printf("  has features : %s\n", mgr.contains("points") ? "yes" : "no");
+  if (mgr.contains("index_meta")) {
+    const auto meta = core::load_index_metadata(mgr);
+    std::printf("  metric %s, k %u, dim %u, %llu points, seed %llu\n",
+                std::string(meta.metric_name()).c_str(), meta.k, meta.dim,
+                static_cast<unsigned long long>(meta.num_points),
+                static_cast<unsigned long long>(meta.build_seed));
+  }
+  if (mgr.contains("knng")) {
+    const auto graph = core::load_graph(mgr, "knng");
+    std::printf("  graph: %zu vertices, %zu edges, max degree %zu\n",
+                graph.num_vertices(), graph.num_edges(), graph.max_degree());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string mode = argv[1];
+  try {
+    if (mode == "gen" && argc >= 4) return cmd_gen(argc, argv);
+    if (mode == "build" && argc >= 4) return cmd_build(argc, argv);
+    if (mode == "query" && argc >= 4) return cmd_query(argc, argv);
+    if (mode == "info" && argc >= 3) return cmd_info(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}

@@ -1,0 +1,132 @@
+// Persistent index workflow — the paper's two-executable pattern (§5.1.3)
+// in one binary with two subcommands:
+//
+//   persistent_index build <datastore> [n]   construct a k-NNG with DNND,
+//                                            optimize it, and persist graph
+//                                            + dataset into the datastore
+//   persistent_index query <datastore> [nq]  reopen the datastore (as the
+//                                            separate query program would)
+//                                            and run ANN searches
+//
+// The datastore is a single mmap-backed file managed by dnnd::pmem (the
+// Metall substitution); reopening performs no deserialization.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "comm/environment.hpp"
+#include "core/distance.hpp"
+#include "core/dnnd_runner.hpp"
+#include "core/knn_query.hpp"
+#include "core/persistent_graph.hpp"
+#include "data/synthetic.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct L2 {
+  float operator()(std::span<const float> a, std::span<const float> b) const {
+    return dnnd::core::l2(a, b);
+  }
+};
+
+dnnd::data::GaussianMixture family() {
+  dnnd::data::MixtureSpec spec;
+  spec.dim = 32;
+  spec.num_clusters = 16;
+  spec.center_range = 3.0f;
+  spec.seed = 71;
+  return dnnd::data::GaussianMixture(spec);
+}
+
+int build(const std::string& path, std::size_t n) {
+  using namespace dnnd;
+  const auto points = family().sample(n, 1);
+  std::printf("building k-NNG over %zu points on 8 simulated ranks...\n", n);
+
+  comm::Environment env(comm::Config{.num_ranks = 8});
+  core::DnndConfig config;
+  config.k = 12;
+  core::DnndRunner<float, L2> runner(env, config, L2{});
+  runner.distribute(points);
+  util::Timer timer;
+  const auto stats = runner.build();
+  runner.optimize();
+  std::printf("construction: %.2fs, %zu iterations\n", timer.elapsed_s(),
+              stats.iterations);
+
+  // Size the datastore generously; the arena grows inside the mapping.
+  auto manager = pmem::Manager::create(path, 256 << 20);
+  core::store_graph(manager, runner.gather(), "knng");
+  core::store_features(manager, points, "points");
+  manager.flush();
+  std::printf("persisted graph + dataset to %s (%zu bytes allocated)\n",
+              path.c_str(), manager.allocated_bytes());
+  return 0;
+}
+
+int query(const std::string& path, std::size_t num_queries) {
+  using namespace dnnd;
+  // A separate process run: only the datastore path is shared state.
+  auto manager = pmem::Manager::open(path);
+  const auto graph = core::load_graph(manager, "knng");
+  const auto points = core::load_features<float>(manager, "points");
+  std::printf("reopened datastore: %zu vertices, %zu edges\n",
+              graph.num_vertices(), graph.num_edges());
+
+  const auto queries = family().sample(num_queries, 2);
+  core::GraphSearcher searcher(graph, points, L2{});
+  core::SearchParams params;
+  params.num_neighbors = 10;
+  params.epsilon = 0.2;
+  params.num_entry_points = 24;
+
+  util::Timer timer;
+  const auto results = searcher.batch_search(queries, params, 2);
+  const double seconds = timer.elapsed_s();
+  std::uint64_t evals = 0;
+  for (const auto& r : results) evals += r.distance_evals;
+  std::printf("%zu queries in %.3fs (%.0f qps, %.0f distance evals/query)\n",
+              num_queries, seconds,
+              static_cast<double>(num_queries) / seconds,
+              static_cast<double>(evals) / static_cast<double>(num_queries));
+  std::printf("first query's neighbors:");
+  for (const auto& n : results.front().neighbors) {
+    std::printf(" (%u, %.3f)", n.id, n.distance);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s build <datastore-path> [num-points]\n"
+                 "       %s query <datastore-path> [num-queries]\n",
+                 argv[0], argv[0]);
+    return 2;
+  }
+  const std::string mode = argv[1];
+  const std::string path = argv[2];
+  try {
+    if (mode == "build") {
+      const std::size_t n =
+          argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 3000;
+      return build(path, n);
+    }
+    if (mode == "query") {
+      const std::size_t nq =
+          argc > 3 ? static_cast<std::size_t>(std::atoll(argv[3])) : 100;
+      return query(path, nq);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+  return 2;
+}

@@ -1,0 +1,73 @@
+// Exact k-NN by exhaustive comparison.
+//
+// The §5.2 ground truth: "The brute-force approach performs similarity
+// comparisons between all pairs in the datasets." O(N²) distance
+// evaluations, halved by symmetry. Also provides exact query answers for
+// generating synthetic query ground truth (the Big-ANN datasets ship
+// theirs; ours are computed).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/feature_store.hpp"
+#include "core/knn_graph.hpp"
+#include "core/neighbor_list.hpp"
+#include "core/types.hpp"
+
+namespace dnnd::baselines {
+
+/// Exact K-NNG over all pairs (θ symmetric: each pair evaluated once).
+/// Vertices are the store's *ids* (which need not be dense — e.g. a
+/// survivor set after deletions); the graph spans [0, max id].
+template <typename T, typename DistanceFn>
+core::KnnGraph brute_force_knn_graph(const core::FeatureStore<T>& points,
+                                     DistanceFn distance, std::size_t k) {
+  const std::size_t n = points.size();
+  std::vector<core::NeighborList> lists(n, core::NeighborList(k));
+  core::VertexId max_id = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    max_id = std::max(max_id, points.id_at(i));
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const core::Dist d = distance(points.row(i), points.row(j));
+      lists[i].update(points.id_at(j), d, false);
+      lists[j].update(points.id_at(i), d, false);
+    }
+  }
+  core::KnnGraph graph(n == 0 ? 0 : max_id + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    graph.set_neighbors(points.id_at(i), lists[i].sorted());
+  }
+  return graph;
+}
+
+/// Exact top-k ids for one query, ascending by distance.
+template <typename T, typename DistanceFn>
+std::vector<core::VertexId> brute_force_query(
+    const core::FeatureStore<T>& points, std::span<const T> query,
+    DistanceFn distance, std::size_t k) {
+  core::NeighborList best(k);
+  const std::size_t n = points.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    best.update(points.id_at(i), distance(query, points.row(i)), false);
+  }
+  std::vector<core::VertexId> ids;
+  ids.reserve(best.size());
+  for (const auto& nb : best.sorted()) ids.push_back(nb.id);
+  return ids;
+}
+
+/// Exact ground truth for a query batch.
+template <typename T, typename DistanceFn>
+std::vector<std::vector<core::VertexId>> brute_force_query_batch(
+    const core::FeatureStore<T>& points, const core::FeatureStore<T>& queries,
+    DistanceFn distance, std::size_t k) {
+  std::vector<std::vector<core::VertexId>> out;
+  out.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    out.push_back(brute_force_query(points, queries.row(i), distance, k));
+  }
+  return out;
+}
+
+}  // namespace dnnd::baselines

@@ -1,0 +1,75 @@
+#include "comm/communicator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace dnnd::comm {
+
+Communicator::Communicator(mpi::World& world, int rank,
+                           std::size_t send_buffer_bytes)
+    : world_(&world), rank_(rank), send_buffer_bytes_(send_buffer_bytes) {
+  if (rank < 0 || rank >= world.size()) {
+    throw std::invalid_argument("Communicator: rank out of range");
+  }
+  send_buffers_.resize(static_cast<std::size_t>(world.size()));
+}
+
+HandlerId Communicator::register_handler(std::string label, HandlerFn fn) {
+  const auto id = static_cast<HandlerId>(handlers_.size());
+  stats_.add_handler(label);
+  handlers_.push_back(Handler{std::move(label), std::move(fn)});
+  return id;
+}
+
+void Communicator::flush() {
+  for (int dest = 0; dest < size(); ++dest) {
+    flush_to(dest);
+  }
+}
+
+void Communicator::flush_to(int dest) {
+  auto& buffer = send_buffers_[static_cast<std::size_t>(dest)];
+  if (buffer.message_count == 0) return;
+  mpi::Datagram datagram;
+  datagram.source = rank_;
+  datagram.message_count = buffer.message_count;
+  datagram.payload = buffer.archive.release();
+  buffer.archive.clear();
+  buffer.message_count = 0;
+  world_->post(dest, std::move(datagram));
+}
+
+std::size_t Communicator::process_available(std::size_t max_datagrams) {
+  std::size_t messages = 0;
+  mpi::Datagram datagram;
+  for (std::size_t i = 0; i < max_datagrams; ++i) {
+    if (!world_->try_collect(rank_, datagram)) break;
+    dispatch(datagram);
+    messages += datagram.message_count;
+  }
+  return messages;
+}
+
+void Communicator::dispatch(const mpi::Datagram& datagram) {
+  serial::InArchive archive(datagram.payload);
+  std::uint32_t handled = 0;
+  while (!archive.empty()) {
+    const auto handler_id = static_cast<HandlerId>(archive.read_size());
+    if (handler_id >= handlers_.size()) {
+      throw std::runtime_error("Communicator: unknown handler id");
+    }
+    handlers_[handler_id].fn(datagram.source, archive);
+    // Count each message as processed only after its handler returned, so
+    // the quiescence test cannot pass while a handler (which may itself
+    // send) is still running.
+    world_->note_messages_processed(1);
+    ++handled;
+  }
+  if (handled != datagram.message_count) {
+    throw std::runtime_error(
+        "Communicator: datagram message count mismatch (handler read too "
+        "few/many bytes?)");
+  }
+}
+
+}  // namespace dnnd::comm

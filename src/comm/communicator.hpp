@@ -1,0 +1,115 @@
+// Asynchronous remote-call layer (the YGM substitution, DESIGN.md §2).
+//
+// YGM's programming model is fire-and-forget RPC: a sender provides a
+// handler and arguments for execution on a destination rank; the handler
+// runs "at an unspecified time in the future"; a collective barrier waits
+// for global quiescence. This class reproduces that model on top of the
+// simulated transport:
+//
+//   * handlers are registered once per rank (same order on every rank,
+//     as in SPMD code) and addressed by dense HandlerId;
+//   * async() serializes the arguments into a per-destination send buffer
+//     (YGM's internal buffering, §4.1) and flushes the buffer to the
+//     transport when it exceeds `send_buffer_bytes`;
+//   * process_available() delivers inbound messages by invoking handlers;
+//     the drivers in Environment run it to quiescence, which is the
+//     equivalent of ygm::comm::barrier().
+//
+// Thread safety: a Communicator belongs to one rank and is only touched by
+// that rank's thread (handlers for rank r run on rank r's thread). The
+// underlying World does the cross-thread synchronization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/message_stats.hpp"
+#include "mpi/world.hpp"
+#include "serial/archive.hpp"
+
+namespace dnnd::comm {
+
+/// A handler receives the source rank and an archive positioned at its
+/// serialized arguments; it must consume exactly those arguments.
+using HandlerFn = std::function<void(int source, serial::InArchive&)>;
+
+class Communicator {
+ public:
+  /// `send_buffer_bytes`: per-destination buffering threshold; 0 means
+  /// send every message immediately (useful for tests).
+  Communicator(mpi::World& world, int rank, std::size_t send_buffer_bytes);
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+
+  [[nodiscard]] int rank() const noexcept { return rank_; }
+  [[nodiscard]] int size() const noexcept { return world_->size(); }
+
+  /// Registers a handler; every rank must register the same handlers in
+  /// the same order so ids agree across ranks.
+  HandlerId register_handler(std::string label, HandlerFn fn);
+
+  /// Fire-and-forget remote call: runs `handler` on `dest` with `args`.
+  /// Arguments are serialized immediately, so they may refer to
+  /// stack-local data. Self-sends take the same serialized path (and are
+  /// accounted as local messages).
+  template <typename... Args>
+  void async(int dest, HandlerId handler, const Args&... args) {
+    auto& buffer = send_buffers_[static_cast<std::size_t>(dest)];
+    const std::size_t before = buffer.archive.size();
+    buffer.archive.write_size(handler);
+    serial::pack(buffer.archive, args...);
+    const std::size_t message_bytes = buffer.archive.size() - before;
+    ++buffer.message_count;
+    world_->note_messages_submitted(1);
+    stats_.on_send(handler, dest != rank_, message_bytes);
+    ++async_count_;
+    if (send_buffer_bytes_ == 0 || buffer.archive.size() >= send_buffer_bytes_) {
+      flush_to(dest);
+    }
+  }
+
+  /// Pushes all buffered messages to the transport.
+  void flush();
+
+  /// Delivers up to `max_datagrams` inbound datagrams by running their
+  /// handlers. Returns the number of application messages processed.
+  std::size_t process_available(
+      std::size_t max_datagrams = static_cast<std::size_t>(-1));
+
+  /// Total async() calls issued by this rank (drives the §4.4 batching
+  /// policy in the engines).
+  [[nodiscard]] std::uint64_t async_count() const noexcept {
+    return async_count_;
+  }
+
+  [[nodiscard]] MessageStats& stats() noexcept { return stats_; }
+  [[nodiscard]] const MessageStats& stats() const noexcept { return stats_; }
+
+  [[nodiscard]] mpi::World& world() noexcept { return *world_; }
+
+ private:
+  struct SendBuffer {
+    serial::OutArchive archive;
+    std::uint32_t message_count = 0;
+  };
+
+  void flush_to(int dest);
+  void dispatch(const mpi::Datagram& datagram);
+
+  mpi::World* world_;
+  int rank_;
+  std::size_t send_buffer_bytes_;
+  std::vector<SendBuffer> send_buffers_;
+  struct Handler {
+    std::string label;
+    HandlerFn fn;
+  };
+  std::vector<Handler> handlers_;
+  MessageStats stats_;
+  std::uint64_t async_count_ = 0;
+};
+
+}  // namespace dnnd::comm

@@ -1,0 +1,67 @@
+#include "comm/environment.hpp"
+
+#include <stdexcept>
+
+#include "mpi/threaded_driver.hpp"
+
+namespace dnnd::comm {
+
+Environment::Environment(Config config) : config_(config) {
+  if (config_.num_ranks < 1) {
+    throw std::invalid_argument("Environment: num_ranks < 1");
+  }
+  world_ = std::make_unique<mpi::World>(config_.num_ranks);
+  comms_.reserve(static_cast<std::size_t>(config_.num_ranks));
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    comms_.push_back(std::make_unique<Communicator>(
+        *world_, r, config_.send_buffer_bytes));
+  }
+}
+
+Environment::~Environment() = default;
+
+void Environment::execute_phase(const std::function<void(int)>& fn) {
+  if (config_.driver == DriverKind::kSequential) {
+    run_sequential(fn);
+  } else {
+    run_threaded(fn);
+  }
+}
+
+void Environment::quiesce() {
+  execute_phase([](int) {});
+}
+
+void Environment::run_sequential(const std::function<void(int)>& fn) {
+  for (int r = 0; r < config_.num_ranks; ++r) fn(r);
+  // Round-robin delivery: bounded datagram bursts per rank per turn keep
+  // the schedule fair (and deterministic), mimicking ranks making
+  // interleaved progress.
+  constexpr std::size_t kBurst = 16;
+  while (!world_->quiescent()) {
+    for (auto& comm : comms_) comm->flush();
+    for (auto& comm : comms_) comm->process_available(kBurst);
+  }
+}
+
+void Environment::run_threaded(const std::function<void(int)>& fn) {
+  mpi::run_threaded_phase(
+      *world_, static_cast<int>(comms_.size()),
+      [&](int rank) { fn(rank); },
+      [&](int rank) { comms_[static_cast<std::size_t>(rank)]->flush(); },
+      [&](int rank) {
+        return comms_[static_cast<std::size_t>(rank)]->process_available(16);
+      });
+}
+
+MessageStats Environment::aggregate_stats() const {
+  MessageStats merged;
+  for (const auto& comm : comms_) merged.merge(comm->stats());
+  return merged;
+}
+
+void Environment::reset_stats() {
+  for (auto& comm : comms_) comm->stats().reset();
+}
+
+}  // namespace dnnd::comm

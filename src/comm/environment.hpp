@@ -1,0 +1,97 @@
+// Environment: owns the simulated world, one Communicator per rank, and a
+// phase driver.
+//
+// SPMD programs built on this runtime are structured as *phases*: a phase
+// runs a function once per rank (issuing async calls), then the driver
+// processes messages until global quiescence — the equivalent of
+// ygm::comm::barrier(). Two drivers are provided:
+//
+//   * kSequential — ranks execute in order on the calling thread and
+//     inbound messages are delivered round-robin. Fully deterministic for
+//     a fixed seed; the default for tests and benches.
+//   * kThreaded — one std::thread per rank with a counting-based
+//     termination-detecting barrier; validates that engine code has no
+//     hidden shared-memory dependencies between ranks.
+//
+// Collectives (reductions) are driver-level: execute_phase returns the
+// per-rank values produced by the phase function and the caller reduces
+// them, which keeps engine code free of blocking calls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "mpi/world.hpp"
+
+namespace dnnd::comm {
+
+enum class DriverKind { kSequential, kThreaded };
+
+struct Config {
+  int num_ranks = 1;
+  DriverKind driver = DriverKind::kSequential;
+  /// Per-destination send-buffer threshold in bytes (YGM-style internal
+  /// buffering). 0 = unbuffered.
+  std::size_t send_buffer_bytes = 64 * 1024;
+  /// Base seed; engines derive per-rank streams from it.
+  std::uint64_t seed = 42;
+};
+
+class Environment {
+ public:
+  explicit Environment(Config config);
+  ~Environment();
+
+  Environment(const Environment&) = delete;
+  Environment& operator=(const Environment&) = delete;
+
+  [[nodiscard]] int num_ranks() const noexcept { return config_.num_ranks; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] mpi::World& world() noexcept { return *world_; }
+  [[nodiscard]] Communicator& comm(int rank) {
+    return *comms_.at(static_cast<std::size_t>(rank));
+  }
+
+  /// Runs `fn(rank)` on every rank, then processes messages to global
+  /// quiescence (the barrier).
+  void execute_phase(const std::function<void(int)>& fn);
+
+  /// Like execute_phase but collects one value per rank.
+  template <typename T>
+  std::vector<T> execute_phase_collect(const std::function<T(int)>& fn) {
+    std::vector<T> results(static_cast<std::size_t>(num_ranks()));
+    execute_phase([&](int rank) {
+      results[static_cast<std::size_t>(rank)] = fn(rank);
+    });
+    return results;
+  }
+
+  /// Convenience sum-reduction over execute_phase_collect.
+  std::uint64_t execute_phase_sum(const std::function<std::uint64_t(int)>& fn) {
+    const auto values = execute_phase_collect<std::uint64_t>(fn);
+    return std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  }
+
+  /// Processes outstanding messages to quiescence without a phase body.
+  void quiesce();
+
+  /// Send-side message statistics merged over all ranks.
+  [[nodiscard]] MessageStats aggregate_stats() const;
+
+  /// Resets every rank's message counters (between experiment sections).
+  void reset_stats();
+
+ private:
+  void run_sequential(const std::function<void(int)>& fn);
+  void run_threaded(const std::function<void(int)>& fn);
+
+  Config config_;
+  std::unique_ptr<mpi::World> world_;
+  std::vector<std::unique_ptr<Communicator>> comms_;
+};
+
+}  // namespace dnnd::comm

@@ -1,0 +1,79 @@
+#include "comm/message_stats.hpp"
+
+#include <stdexcept>
+
+namespace dnnd::comm {
+
+void MessageStats::add_handler(const std::string& label) {
+  HandlerCounters counters;
+  counters.label = label;
+  per_handler_.push_back(std::move(counters));
+}
+
+void MessageStats::on_send(HandlerId handler, bool remote,
+                           std::size_t bytes) noexcept {
+  auto& c = per_handler_[handler];
+  if (remote) {
+    ++c.remote_messages;
+    c.remote_bytes += bytes;
+  } else {
+    ++c.local_messages;
+    c.local_bytes += bytes;
+  }
+}
+
+HandlerCounters MessageStats::by_label(const std::string& label) const {
+  HandlerCounters sum;
+  sum.label = label;
+  for (const auto& c : per_handler_) {
+    if (c.label != label) continue;
+    sum.remote_messages += c.remote_messages;
+    sum.remote_bytes += c.remote_bytes;
+    sum.local_messages += c.local_messages;
+    sum.local_bytes += c.local_bytes;
+  }
+  return sum;
+}
+
+std::uint64_t MessageStats::total_remote_messages() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& c : per_handler_) n += c.remote_messages;
+  return n;
+}
+
+std::uint64_t MessageStats::total_remote_bytes() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& c : per_handler_) n += c.remote_bytes;
+  return n;
+}
+
+void MessageStats::merge(const MessageStats& other) {
+  if (per_handler_.empty()) {
+    per_handler_ = other.per_handler_;
+    return;
+  }
+  if (other.per_handler_.empty()) return;
+  if (other.per_handler_.size() != per_handler_.size()) {
+    throw std::invalid_argument("MessageStats::merge: handler registries differ");
+  }
+  for (std::size_t i = 0; i < per_handler_.size(); ++i) {
+    auto& dst = per_handler_[i];
+    const auto& src = other.per_handler_[i];
+    if (dst.label != src.label) {
+      throw std::invalid_argument("MessageStats::merge: handler labels differ");
+    }
+    dst.remote_messages += src.remote_messages;
+    dst.remote_bytes += src.remote_bytes;
+    dst.local_messages += src.local_messages;
+    dst.local_bytes += src.local_bytes;
+  }
+}
+
+void MessageStats::reset() noexcept {
+  for (auto& c : per_handler_) {
+    c.remote_messages = c.remote_bytes = 0;
+    c.local_messages = c.local_bytes = 0;
+  }
+}
+
+}  // namespace dnnd::comm

@@ -1,0 +1,68 @@
+// Per-handler message accounting.
+//
+// Figure 4 of the paper reports the *number* and *total size* of messages
+// sent during neighbor checks, broken down by message type (Type 1, Type 2,
+// Type 2+, Type 3). Each message type is a registered handler here, so the
+// accounting falls out of the comm layer rather than being sprinkled
+// through the algorithm. "Remote" means destination rank != source rank
+// (the paper counts messages sent off-node; in the simulation each rank
+// models one node).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dnnd::comm {
+
+using HandlerId = std::uint32_t;
+
+struct HandlerCounters {
+  std::string label;
+  std::uint64_t remote_messages = 0;
+  std::uint64_t remote_bytes = 0;
+  std::uint64_t local_messages = 0;
+  std::uint64_t local_bytes = 0;
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return remote_messages + local_messages;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return remote_bytes + local_bytes;
+  }
+};
+
+/// Accumulates send-side counters per registered handler. One instance per
+/// Communicator (i.e. per rank); only that rank's thread writes to it.
+class MessageStats {
+ public:
+  /// Called by Communicator::register_handler.
+  void add_handler(const std::string& label);
+
+  void on_send(HandlerId handler, bool remote, std::size_t bytes) noexcept;
+
+  [[nodiscard]] const HandlerCounters& handler(HandlerId id) const {
+    return per_handler_.at(id);
+  }
+  [[nodiscard]] const std::vector<HandlerCounters>& handlers() const noexcept {
+    return per_handler_;
+  }
+
+  /// Sums a counter set over all handlers whose label matches `label`.
+  [[nodiscard]] HandlerCounters by_label(const std::string& label) const;
+
+  [[nodiscard]] std::uint64_t total_remote_messages() const noexcept;
+  [[nodiscard]] std::uint64_t total_remote_bytes() const noexcept;
+
+  /// Element-wise merge; handler lists must have been registered in the
+  /// same order on both sides (true for SPMD engines).
+  void merge(const MessageStats& other);
+
+  /// Zeroes all counters but keeps the handler registry.
+  void reset() noexcept;
+
+ private:
+  std::vector<HandlerCounters> per_handler_;
+};
+
+}  // namespace dnnd::comm

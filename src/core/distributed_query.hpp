@@ -1,0 +1,340 @@
+// Distributed ANN query service: greedy graph search over the *sharded*
+// k-NN graph, no gather step.
+//
+// The paper's query program is shared-memory over a gathered graph
+// (§5.3.1), which presumes the graph and dataset fit one node — true on
+// Mammoth's 2 TiB nodes, not in general at "massive scale" (the paper's
+// related work cites Pyramid for exactly this). This module keeps both
+// the adjacency and the features partitioned as DNND left them and runs
+// the §3.3 greedy search by message passing:
+//
+//   submit     coordinator (hash of query index) seeds entry points by
+//              weighted-rank sampling: seed_req → owner picks a random
+//              local point, evaluates θ(q, ·), replies eval_reply
+//   expand     coordinator pops the frontier, asks owner(v) for v's row
+//              (row_req → row_reply), filters visited, groups the
+//              unvisited neighbors by owner and scatters eval_batch
+//              messages carrying the query vector; owners evaluate
+//              against local features and send eval_reply
+//   terminate  frontier empty or closest frontier entry beyond
+//              (1 + epsilon) · d_max — same rule as the shared-memory
+//              searcher
+//
+// Every query is a self-contained state machine on its coordinator rank;
+// progress is entirely handler-driven, so ONE quiescence barrier after
+// submission runs every in-flight query to completion. Queries proceed
+// concurrently across (and within) ranks, which is where a distributed
+// deployment gets its throughput — per-query latency pays two message
+// hops per expansion.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "comm/environment.hpp"
+#include "core/dnnd_runner.hpp"
+#include "core/knn_query.hpp"
+#include "core/partition.hpp"
+#include "core/neighbor_list.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace dnnd::core {
+
+/// Per-rank half of the service. Construct one per rank (same order on
+/// every rank), attach the DNND shard, then drive via
+/// DistributedQueryService.
+template <typename T, typename DistanceFn>
+class QueryEngineRank {
+ public:
+  QueryEngineRank(comm::Communicator& comm, DistanceFn distance,
+                  Partition partition)
+      : comm_(&comm),
+        distance_(std::move(distance)),
+        partition_(std::move(partition)),
+        rng_(util::Xoshiro256(0x9e3779b9) .fork(
+            static_cast<std::uint64_t>(comm.rank()))) {
+    register_handlers();
+  }
+
+  QueryEngineRank(const QueryEngineRank&) = delete;
+  QueryEngineRank& operator=(const QueryEngineRank&) = delete;
+
+  /// Snapshots the rank's shard: adjacency rows (optimized if available)
+  /// and a pointer to its feature store.
+  void attach(DnndEngine<T, DistanceFn>& engine) {
+    rows_.clear();
+    if (!engine.optimized_rows().empty()) {
+      for (const auto& [v, row] : engine.optimized_rows()) rows_[v] = row;
+    } else {
+      for (auto& [v, row] : engine.shard_rows()) rows_[v] = std::move(row);
+    }
+    points_ = &engine.local_points();
+  }
+
+  void set_rank_weights(std::vector<std::uint64_t> counts) {
+    rank_weights_ = std::move(counts);
+    total_weight_ = 0;
+    for (const auto w : rank_weights_) total_weight_ += w;
+  }
+
+  /// Starts one query with this rank as coordinator. Call inside a phase;
+  /// results are complete after the phase's barrier.
+  void submit(std::uint64_t query_index, std::span<const T> query,
+              const SearchParams& params) {
+    const std::uint64_t qid = next_local_id_++;
+    ActiveQuery& state = active_[qid];
+    state.query_index = query_index;
+    state.vector.assign(query.begin(), query.end());
+    state.params = params;
+    state.best = NeighborList(params.num_neighbors);
+
+    const std::size_t entries =
+        params.num_entry_points > 0 ? params.num_entry_points
+                                    : params.num_neighbors;
+    // Seed: ask `entries` weighted-random ranks for one random local
+    // point each. Owners may return duplicates; the merge dedups.
+    state.outstanding = entries;
+    for (std::size_t e = 0; e < entries; ++e) {
+      comm_->async(sample_weighted_rank(), h_seed_req_, qid,
+                   static_cast<std::uint32_t>(comm_->rank()), state.vector);
+    }
+  }
+
+  /// Completed results, keyed by the caller's query_index.
+  [[nodiscard]] std::unordered_map<std::uint64_t, SearchResult>&
+  completed() noexcept {
+    return completed_;
+  }
+
+ private:
+  struct ActiveQuery {
+    std::uint64_t query_index = 0;
+    std::vector<T> vector;
+    SearchParams params;
+    NeighborList best;
+    std::priority_queue<std::pair<Dist, VertexId>,
+                        std::vector<std::pair<Dist, VertexId>>, std::greater<>>
+        frontier;
+    std::unordered_set<VertexId> evaluated;  ///< θ(q, ·) already computed
+    std::unordered_set<VertexId> expanded;   ///< row already fetched
+    std::size_t outstanding = 0;  ///< replies pending before the next step
+    std::uint64_t distance_evals = 0;
+  };
+
+  int sample_weighted_rank() {
+    if (total_weight_ == 0) {
+      return static_cast<int>(
+          rng_.uniform_below(static_cast<std::uint64_t>(comm_->size())));
+    }
+    std::uint64_t pick = rng_.uniform_below(total_weight_);
+    for (std::size_t r = 0; r < rank_weights_.size(); ++r) {
+      if (pick < rank_weights_[r]) return static_cast<int>(r);
+      pick -= rank_weights_[r];
+    }
+    return comm_->size() - 1;
+  }
+
+  /// Merge one evaluated candidate into the query's heaps.
+  void merge_candidate(ActiveQuery& state, VertexId v, Dist d) {
+    ++state.distance_evals;
+    state.evaluated.insert(v);  // seeds arrive without a scatter step
+    const double slack = 1.0 + state.params.epsilon;
+    const Dist bound = state.best.furthest_distance();
+    if (static_cast<double>(d) < slack * static_cast<double>(bound)) {
+      state.frontier.emplace(d, v);
+      state.best.update(v, d, false);
+    }
+  }
+
+  /// Called when all outstanding replies for a query arrived: expand the
+  /// next frontier vertex or finish.
+  void advance(std::uint64_t qid, ActiveQuery& state) {
+    const double slack = 1.0 + state.params.epsilon;
+    while (!state.frontier.empty()) {
+      const auto [d, v] = state.frontier.top();
+      const Dist d_max = state.best.furthest_distance();
+      if (static_cast<double>(d) > slack * static_cast<double>(d_max)) break;
+      state.frontier.pop();
+      if (state.expanded.contains(v)) continue;
+      state.expanded.insert(v);
+      state.outstanding = 1;  // the row_reply
+      comm_->async(partition_.owner(v), h_row_req_, qid,
+                   static_cast<std::uint32_t>(comm_->rank()), v);
+      return;
+    }
+    // Done.
+    SearchResult result;
+    result.neighbors = state.best.sorted();
+    result.distance_evals = state.distance_evals;
+    result.visited = state.evaluated.size();
+    completed_.emplace(state.query_index, std::move(result));
+    active_.erase(qid);
+  }
+
+  void register_handlers() {
+    h_seed_req_ = comm_->register_handler(
+        "q_seed_req", [this](int, serial::InArchive& ar) {
+          const auto qid = ar.read<std::uint64_t>();
+          const auto coordinator = ar.read<std::uint32_t>();
+          ar.read_into(scratch_);
+          // Evaluate one random local point against the query.
+          std::vector<std::pair<VertexId, Dist>> pairs;
+          if (points_ != nullptr && !points_->empty()) {
+            const VertexId u =
+                points_->id_at(rng_.uniform_below(points_->size()));
+            pairs.emplace_back(
+                u, distance_(std::span<const T>(scratch_), (*points_)[u]));
+          }
+          send_eval_reply(static_cast<int>(coordinator), qid, pairs);
+        });
+    h_row_req_ = comm_->register_handler(
+        "q_row_req", [this](int, serial::InArchive& ar) {
+          const auto qid = ar.read<std::uint64_t>();
+          const auto coordinator = ar.read<std::uint32_t>();
+          const auto v = ar.read<VertexId>();
+          std::vector<VertexId> ids;
+          const auto it = rows_.find(v);
+          if (it != rows_.end()) {
+            ids.reserve(it->second.size());
+            for (const Neighbor& n : it->second) ids.push_back(n.id);
+          }
+          comm_->async(static_cast<int>(coordinator), h_row_reply_, qid, ids);
+        });
+    h_row_reply_ = comm_->register_handler(
+        "q_row_reply", [this](int, serial::InArchive& ar) {
+          const auto qid = ar.read<std::uint64_t>();
+          const auto ids = ar.read_vector<VertexId>();
+          auto& state = active_.at(qid);
+          --state.outstanding;
+          // Filter visited, group by owner, scatter evaluation batches.
+          std::unordered_map<int, std::vector<VertexId>> by_owner;
+          for (const VertexId w : ids) {
+            if (state.evaluated.contains(w)) continue;
+            state.evaluated.insert(w);
+            by_owner[partition_.owner(w)].push_back(w);
+          }
+          state.outstanding += by_owner.size();
+          for (auto& [owner, batch] : by_owner) {
+            comm_->async(owner, h_eval_batch_, qid,
+                         static_cast<std::uint32_t>(comm_->rank()),
+                         state.vector, batch);
+          }
+          if (state.outstanding == 0) advance(qid, state);
+        });
+    h_eval_batch_ = comm_->register_handler(
+        "q_eval_batch", [this](int, serial::InArchive& ar) {
+          const auto qid = ar.read<std::uint64_t>();
+          const auto coordinator = ar.read<std::uint32_t>();
+          ar.read_into(scratch_);
+          const auto ids = ar.read_vector<VertexId>();
+          std::vector<std::pair<VertexId, Dist>> pairs;
+          pairs.reserve(ids.size());
+          for (const VertexId w : ids) {
+            pairs.emplace_back(
+                w, distance_(std::span<const T>(scratch_), (*points_)[w]));
+          }
+          send_eval_reply(static_cast<int>(coordinator), qid, pairs);
+        });
+    h_eval_reply_ = comm_->register_handler(
+        "q_eval_reply", [this](int, serial::InArchive& ar) {
+          const auto qid = ar.read<std::uint64_t>();
+          const auto ids = ar.read_vector<VertexId>();
+          const auto dists = ar.read_vector<Dist>();
+          auto& state = active_.at(qid);
+          for (std::size_t i = 0; i < ids.size(); ++i) {
+            merge_candidate(state, ids[i], dists[i]);
+          }
+          --state.outstanding;
+          if (state.outstanding == 0) advance(qid, state);
+        });
+  }
+
+  void send_eval_reply(int coordinator, std::uint64_t qid,
+                       const std::vector<std::pair<VertexId, Dist>>& pairs) {
+    std::vector<VertexId> ids;
+    std::vector<Dist> dists;
+    ids.reserve(pairs.size());
+    dists.reserve(pairs.size());
+    for (const auto& [w, d] : pairs) {
+      ids.push_back(w);
+      dists.push_back(d);
+    }
+    comm_->async(coordinator, h_eval_reply_, qid, ids, dists);
+  }
+
+  comm::Communicator* comm_;
+  DistanceFn distance_;
+  Partition partition_;
+  util::Xoshiro256 rng_;
+
+  std::unordered_map<VertexId, std::vector<Neighbor>> rows_;
+  const FeatureStore<T>* points_ = nullptr;
+  std::vector<std::uint64_t> rank_weights_;
+  std::uint64_t total_weight_ = 0;
+
+  std::uint64_t next_local_id_ = 0;
+  std::unordered_map<std::uint64_t, ActiveQuery> active_;
+  std::unordered_map<std::uint64_t, SearchResult> completed_;
+  std::vector<T> scratch_;
+
+  comm::HandlerId h_seed_req_ = 0, h_row_req_ = 0, h_row_reply_ = 0;
+  comm::HandlerId h_eval_batch_ = 0, h_eval_reply_ = 0;
+};
+
+/// Front-end: binds per-rank query engines to a built DnndRunner and runs
+/// query batches to completion.
+template <typename T, typename DistanceFn>
+class DistributedQueryService {
+ public:
+  DistributedQueryService(comm::Environment& env,
+                          DnndRunner<T, DistanceFn>& runner,
+                          DistanceFn distance)
+      : env_(&env) {
+    ranks_.reserve(static_cast<std::size_t>(env.num_ranks()));
+    for (int r = 0; r < env.num_ranks(); ++r) {
+      ranks_.push_back(std::make_unique<QueryEngineRank<T, DistanceFn>>(
+          env.comm(r), distance, runner.partition()));
+    }
+    std::vector<std::uint64_t> counts;
+    counts.reserve(ranks_.size());
+    for (int r = 0; r < env.num_ranks(); ++r) {
+      ranks_[static_cast<std::size_t>(r)]->attach(runner.engine(r));
+      counts.push_back(runner.engine(r).local_point_count());
+    }
+    for (auto& rank : ranks_) rank->set_rank_weights(counts);
+  }
+
+  /// Runs all queries; queries are assigned to coordinator ranks
+  /// round-robin. Results are indexed like `queries`.
+  [[nodiscard]] std::vector<SearchResult> run(
+      const FeatureStore<T>& queries, const SearchParams& params) {
+    for (auto& rank : ranks_) rank->completed().clear();
+    const int nranks = env_->num_ranks();
+    env_->execute_phase([&](int r) {
+      for (std::size_t qi = static_cast<std::size_t>(r); qi < queries.size();
+           qi += static_cast<std::size_t>(nranks)) {
+        ranks_[static_cast<std::size_t>(r)]->submit(qi, queries.row(qi),
+                                                    params);
+      }
+    });
+    // The barrier above ran every query to completion: collect.
+    std::vector<SearchResult> results(queries.size());
+    for (auto& rank : ranks_) {
+      for (auto& [qi, result] : rank->completed()) {
+        results[qi] = std::move(result);
+      }
+    }
+    return results;
+  }
+
+ private:
+  comm::Environment* env_;
+  std::vector<std::unique_ptr<QueryEngineRank<T, DistanceFn>>> ranks_;
+};
+
+}  // namespace dnnd::core

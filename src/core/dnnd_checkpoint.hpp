@@ -1,0 +1,144 @@
+// Build checkpoint/restore through the persistent datastore.
+//
+// The paper adopts Metall precisely so that "the ability to store the
+// constructed graph data in some form of persistent storage" (§4.6) and
+// §7's incremental-update vision work; this module closes the loop: an
+// in-progress or finished DNND build can be checkpointed per rank and
+// resumed later — in a new process — with refine() or optimize().
+//
+// Layout inside the datastore (all names under a caller-chosen prefix):
+//   <prefix>/meta            CheckpointMeta (ranks, k, counts, type tag)
+//   <prefix>/points/<rank>   PersistentFeatures<T> — the rank's shard
+//   <prefix>/rows/<rank>     CSR of (id, neighbors-with-flags) rows
+//
+// Restore requires a runner with the same rank count and k; the element
+// type is checked via the pmem type hashes.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/dnnd_runner.hpp"
+#include "core/persistent_graph.hpp"
+#include "pmem/manager.hpp"
+#include "pmem/vector.hpp"
+
+namespace dnnd::core {
+
+struct CheckpointMeta {
+  std::uint32_t num_ranks = 0;
+  std::uint32_t k = 0;
+  std::uint64_t global_count = 0;
+  std::uint64_t id_bound = 0;
+};
+
+/// Per-rank neighbor rows in persistent CSR form.
+struct CheckpointRows {
+  explicit CheckpointRows(pmem::allocator<std::byte> alloc)
+      : ids(pmem::allocator<VertexId>(alloc.header())),
+        row_offsets(pmem::allocator<std::uint64_t>(alloc.header())),
+        entries(pmem::allocator<Neighbor>(alloc.header())) {}
+
+  pmem::vector<VertexId> ids;
+  pmem::vector<std::uint64_t> row_offsets;  ///< ids.size() + 1
+  pmem::vector<Neighbor> entries;
+};
+
+namespace detail {
+inline std::string ckpt_name(std::string_view prefix, const char* what,
+                             int rank) {
+  return std::string(prefix) + "/" + what + "/" + std::to_string(rank);
+}
+}  // namespace detail
+
+/// Writes the runner's full shard state (points + neighbor lists with
+/// new/old flags) into the datastore, overwriting a same-named checkpoint.
+template <typename T, typename DistanceFn>
+void save_checkpoint(pmem::Manager& manager,
+                     DnndRunner<T, DistanceFn>& runner,
+                     std::string_view prefix) {
+  const int ranks = runner.environment().num_ranks();
+  auto* meta = manager.find_or_construct<CheckpointMeta>(
+      std::string(prefix) + "/meta");
+  if (meta == nullptr) throw pmem::ArenaExhausted();
+  meta->num_ranks = static_cast<std::uint32_t>(ranks);
+  meta->global_count = runner.global_count();
+  meta->id_bound = runner.id_bound();
+
+  for (int r = 0; r < ranks; ++r) {
+    auto& engine = runner.engine(r);
+    meta->k = static_cast<std::uint32_t>(
+        engine.list_capacity());
+    store_features(manager, engine.local_points(),
+                   detail::ckpt_name(prefix, "points", r));
+
+    auto* rows = manager.find_or_construct<CheckpointRows>(
+        detail::ckpt_name(prefix, "rows", r), manager.get_allocator<std::byte>());
+    if (rows == nullptr) throw pmem::ArenaExhausted();
+    rows->ids.clear();
+    rows->row_offsets.clear();
+    rows->entries.clear();
+    rows->row_offsets.push_back(0);
+    for (auto& [v, row] : engine.shard_rows()) {
+      rows->ids.push_back(v);
+      for (const Neighbor& n : row) rows->entries.push_back(n);
+      rows->row_offsets.push_back(rows->entries.size());
+    }
+  }
+  manager.flush();
+}
+
+/// Loads a checkpoint into a *fresh* runner (no distribute()/build() yet)
+/// created with the same rank count and k. Throws std::runtime_error on a
+/// missing checkpoint or mismatched topology.
+template <typename T, typename DistanceFn>
+void load_checkpoint(pmem::Manager& manager,
+                     DnndRunner<T, DistanceFn>& runner,
+                     std::string_view prefix) {
+  auto* meta =
+      manager.find<CheckpointMeta>(std::string(prefix) + "/meta");
+  if (meta == nullptr) {
+    throw std::runtime_error("load_checkpoint: no checkpoint at prefix '" +
+                             std::string(prefix) + "'");
+  }
+  const int ranks = runner.environment().num_ranks();
+  if (meta->num_ranks != static_cast<std::uint32_t>(ranks)) {
+    throw std::runtime_error(
+        "load_checkpoint: rank count mismatch (checkpoint " +
+        std::to_string(meta->num_ranks) + ", runner " + std::to_string(ranks) +
+        ")");
+  }
+
+  for (int r = 0; r < ranks; ++r) {
+    auto& engine = runner.engine(r);
+    if (meta->k != static_cast<std::uint32_t>(engine.list_capacity())) {
+      throw std::runtime_error("load_checkpoint: k mismatch");
+    }
+    const auto points =
+        load_features<T>(manager, detail::ckpt_name(prefix, "points", r));
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      engine.add_local_point(points.id_at(i), points.row(i));
+    }
+    auto* rows = manager.find<CheckpointRows>(
+        detail::ckpt_name(prefix, "rows", r));
+    if (rows == nullptr) {
+      throw std::runtime_error("load_checkpoint: missing rows for rank " +
+                               std::to_string(r));
+    }
+    std::vector<std::pair<VertexId, std::vector<Neighbor>>> imported;
+    imported.reserve(rows->ids.size());
+    for (std::size_t i = 0; i < rows->ids.size(); ++i) {
+      const auto begin = rows->row_offsets[i];
+      const auto end = rows->row_offsets[i + 1];
+      imported.emplace_back(
+          rows->ids[i],
+          std::vector<Neighbor>(rows->entries.data() + begin,
+                                rows->entries.data() + end));
+    }
+    engine.import_rows(imported);
+  }
+  runner.adopt_loaded_shards(meta->id_bound);
+}
+
+}  // namespace dnnd::core

@@ -1,0 +1,140 @@
+// Feature-vector storage.
+//
+// Two uses:
+//   * a whole dataset in one process (brute force, HNSW baseline, query
+//     program) — ids are dense 0..N-1;
+//   * the per-rank shard of a distributed run — ids are the global ids of
+//     the points hashed to this rank, stored sparsely.
+//
+// Storage is CSR-style (values + offsets) so variable-length points
+// (sparse Jaccard sets) cost nothing extra; dense datasets simply have
+// uniform row lengths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dnnd::core {
+
+template <typename T>
+class FeatureStore {
+ public:
+  using value_type = T;
+
+  FeatureStore() = default;
+
+  /// Dense constructor: `n` rows of `dim` values, row-major.
+  FeatureStore(std::size_t n, std::size_t dim, std::vector<T> values)
+      : values_(std::move(values)) {
+    if (values_.size() != n * dim) {
+      throw std::invalid_argument("FeatureStore: values size != n*dim");
+    }
+    offsets_.reserve(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) offsets_.push_back(i * dim);
+    ids_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids_.push_back(static_cast<VertexId>(i));
+      index_.emplace(static_cast<VertexId>(i), i);
+    }
+  }
+
+  /// Appends one point. Rows may have different lengths (sparse metrics).
+  void add(VertexId id, std::span<const T> feature) {
+    if (index_.contains(id)) {
+      throw std::invalid_argument("FeatureStore: duplicate id");
+    }
+    if (offsets_.empty()) offsets_.push_back(0);
+    index_.emplace(id, ids_.size());
+    ids_.push_back(id);
+    values_.insert(values_.end(), feature.begin(), feature.end());
+    offsets_.push_back(values_.size());
+  }
+
+  [[nodiscard]] bool contains(VertexId id) const { return index_.contains(id); }
+
+  [[nodiscard]] std::span<const T> operator[](VertexId id) const {
+    const auto it = index_.find(id);
+    if (it == index_.end()) {
+      throw std::out_of_range("FeatureStore: unknown id");
+    }
+    return row(it->second);
+  }
+
+  /// Row by local (insertion) index; useful for iteration.
+  [[nodiscard]] std::span<const T> row(std::size_t local_index) const {
+    const std::size_t begin = offsets_[local_index];
+    const std::size_t end = offsets_[local_index + 1];
+    return {values_.data() + begin, end - begin};
+  }
+
+  [[nodiscard]] VertexId id_at(std::size_t local_index) const {
+    return ids_[local_index];
+  }
+
+  [[nodiscard]] const std::vector<VertexId>& ids() const noexcept {
+    return ids_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return ids_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ids_.empty(); }
+
+  /// Dimension of row 0 (dense datasets); 0 when empty.
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return offsets_.size() > 1 ? offsets_[1] - offsets_[0] : 0;
+  }
+
+  void reserve(std::size_t rows, std::size_t values_per_row) {
+    ids_.reserve(rows);
+    offsets_.reserve(rows + 1);
+    values_.reserve(rows * values_per_row);
+    index_.reserve(rows);
+  }
+
+  /// Removes a batch of points, compacting storage (one O(total) rebuild
+  /// regardless of batch size). Unknown ids are ignored. Local indices of
+  /// surviving rows change; callers holding indices must re-resolve.
+  void remove_batch(std::span<const VertexId> removed) {
+    if (removed.empty()) return;
+    std::vector<bool> drop(ids_.size(), false);
+    bool any = false;
+    for (const VertexId id : removed) {
+      const auto it = index_.find(id);
+      if (it == index_.end()) continue;
+      drop[it->second] = true;
+      any = true;
+    }
+    if (!any) return;
+    std::vector<T> values;
+    std::vector<std::size_t> offsets;
+    std::vector<VertexId> ids;
+    values.reserve(values_.size());
+    offsets.reserve(offsets_.size());
+    ids.reserve(ids_.size());
+    index_.clear();
+    offsets.push_back(0);
+    for (std::size_t i = 0; i < ids_.size(); ++i) {
+      if (drop[i]) continue;
+      const auto r = row(i);
+      values.insert(values.end(), r.begin(), r.end());
+      offsets.push_back(values.size());
+      index_.emplace(ids_[i], ids.size());
+      ids.push_back(ids_[i]);
+    }
+    values_ = std::move(values);
+    offsets_ = std::move(offsets);
+    ids_ = std::move(ids);
+  }
+
+ private:
+  std::vector<T> values_;
+  std::vector<std::size_t> offsets_;  ///< size() + 1 entries when non-empty
+  std::vector<VertexId> ids_;
+  std::unordered_map<VertexId, std::size_t> index_;
+};
+
+}  // namespace dnnd::core

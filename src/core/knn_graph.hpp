@@ -1,0 +1,97 @@
+// k-NN graph: the output artifact of NN-Descent / DNND.
+//
+// Vertices carry global ids 0..N-1; each row is a distance-sorted neighbor
+// array. Rows are independent vectors (not fixed-K) because the §4.5
+// optimization (reverse-edge merge + prune to k·m) produces variable
+// degrees.
+//
+// The paper stresses that NN-Descent's output is "a simple graph data
+// structure where each vertex has k nearest neighbors" — this class is
+// that structure, shared by the serial reference, the distributed engine's
+// gather step, and the query program.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace dnnd::core {
+
+class KnnGraph {
+ public:
+  KnnGraph() = default;
+  explicit KnnGraph(std::size_t num_vertices) : rows_(num_vertices) {}
+
+  [[nodiscard]] std::size_t num_vertices() const noexcept {
+    return rows_.size();
+  }
+
+  [[nodiscard]] std::span<const Neighbor> neighbors(VertexId v) const {
+    return rows_.at(v);
+  }
+
+  /// Replaces v's row; enforces ascending distance order, the class
+  /// invariant every consumer (query engine, recall eval) relies on.
+  void set_neighbors(VertexId v, std::vector<Neighbor> sorted_neighbors) {
+    if (!std::is_sorted(sorted_neighbors.begin(), sorted_neighbors.end(),
+                        [](const Neighbor& a, const Neighbor& b) {
+                          return a.distance < b.distance;
+                        })) {
+      throw std::invalid_argument("KnnGraph: row not sorted by distance");
+    }
+    rows_.at(v) = std::move(sorted_neighbors);
+  }
+
+  /// Total directed edges.
+  [[nodiscard]] std::size_t num_edges() const noexcept {
+    std::size_t n = 0;
+    for (const auto& row : rows_) n += row.size();
+    return n;
+  }
+
+  [[nodiscard]] std::size_t max_degree() const noexcept {
+    std::size_t d = 0;
+    for (const auto& row : rows_) d = std::max(d, row.size());
+    return d;
+  }
+
+  /// §4.5 graph optimization, shared-memory version (the distributed
+  /// engine has its own message-based implementation): add each edge's
+  /// reverse, deduplicate, keep at most `max_degree` closest per vertex.
+  void merge_reverse_edges(std::size_t max_degree);
+
+  friend bool operator==(const KnnGraph&, const KnnGraph&) = default;
+
+ private:
+  std::vector<std::vector<Neighbor>> rows_;
+};
+
+inline void KnnGraph::merge_reverse_edges(std::size_t max_degree) {
+  std::vector<std::vector<Neighbor>> reverse(rows_.size());
+  for (VertexId v = 0; v < rows_.size(); ++v) {
+    for (const Neighbor& n : rows_[v]) {
+      reverse.at(n.id).push_back(Neighbor{v, n.distance, n.is_new});
+    }
+  }
+  for (VertexId v = 0; v < rows_.size(); ++v) {
+    auto& row = rows_[v];
+    row.insert(row.end(), reverse[v].begin(), reverse[v].end());
+    std::sort(row.begin(), row.end(), [](const Neighbor& a, const Neighbor& b) {
+      return a.distance < b.distance ||
+             (a.distance == b.distance && a.id < b.id);
+    });
+    row.erase(std::unique(row.begin(), row.end(),
+                          [](const Neighbor& a, const Neighbor& b) {
+                            return a.id == b.id;
+                          }),
+              row.end());
+    if (row.size() > max_degree) row.resize(max_degree);
+    row.shrink_to_fit();
+  }
+}
+
+}  // namespace dnnd::core

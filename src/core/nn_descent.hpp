@@ -1,0 +1,205 @@
+// Serial NN-Descent: faithful single-process implementation of Algorithm 1.
+//
+// This is the reference the distributed engine is validated against: both
+// must converge to graphs of equivalent recall, and the serial version is
+// also the shared-memory baseline for the scaling study (1-rank point).
+//
+// Parameters follow the paper: K (neighbors), ρ (sample rate, default
+// 0.8), δ (termination threshold, default 0.001) — the loop terminates
+// when the number of successful neighbor-list updates in an iteration
+// drops below δ·K·N.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/feature_store.hpp"
+#include "core/knn_graph.hpp"
+#include "core/neighbor_list.hpp"
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace dnnd::core {
+
+struct NnDescentConfig {
+  std::size_t k = 10;
+  double rho = 0.8;       ///< sample rate ρ
+  double delta = 0.001;   ///< termination threshold δ
+  std::size_t max_iterations = 64;  ///< safety bound beyond Algorithm 1
+  std::uint64_t seed = 7;
+};
+
+struct NnDescentStats {
+  std::size_t iterations = 0;
+  std::uint64_t distance_evals = 0;
+  std::uint64_t updates = 0;
+  std::vector<std::uint64_t> updates_per_iteration;
+};
+
+/// DistanceFn: Dist(std::span<const T>, std::span<const T>).
+template <typename T, typename DistanceFn>
+class NnDescent {
+ public:
+  NnDescent(const FeatureStore<T>& points, DistanceFn distance,
+            NnDescentConfig config)
+      : points_(&points), distance_(std::move(distance)), config_(config) {}
+
+  /// Runs Algorithm 1 to convergence and returns the K-NNG.
+  KnnGraph build() {
+    const std::size_t n = points_->size();
+    util::Xoshiro256 rng(config_.seed);
+    lists_.assign(n, NeighborList(config_.k));
+
+    initialize(rng);
+
+    const auto threshold = static_cast<std::uint64_t>(
+        config_.delta * static_cast<double>(config_.k) *
+        static_cast<double>(n));
+    for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+      ++stats_.iterations;
+      const std::uint64_t c = iterate(rng);
+      stats_.updates_per_iteration.push_back(c);
+      stats_.updates += c;
+      if (c < threshold || c == 0) break;
+    }
+    return export_graph();
+  }
+
+  [[nodiscard]] const NnDescentStats& stats() const noexcept { return stats_; }
+
+ private:
+  Dist eval(VertexId a, VertexId b) {
+    ++stats_.distance_evals;
+    return distance_((*points_)[a], (*points_)[b]);
+  }
+
+  /// Lines 2–5: K random neighbors per vertex.
+  void initialize(util::Xoshiro256& rng) {
+    const std::size_t n = points_->size();
+    for (std::size_t vi = 0; vi < n; ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      auto& list = lists_[vi];
+      // Rejection-sample distinct ids != v; K << N so collisions are rare.
+      while (list.size() < config_.k && list.size() + 1 < n) {
+        const auto u = static_cast<VertexId>(rng.uniform_below(n));
+        if (u == v || list.contains(u)) continue;
+        list.update(u, eval(v, u), true);
+      }
+    }
+  }
+
+  /// One round of lines 7–23. Returns the update counter c.
+  std::uint64_t iterate(util::Xoshiro256& rng) {
+    const std::size_t n = points_->size();
+    const auto sample_k = static_cast<std::size_t>(
+        config_.rho * static_cast<double>(config_.k));
+
+    // Lines 8–10: split each list into old / sampled-new; flip flags.
+    std::vector<std::vector<VertexId>> old_ids(n), new_ids(n);
+    for (std::size_t vi = 0; vi < n; ++vi) {
+      auto entries = lists_[vi].entries();
+      std::vector<std::size_t> fresh;
+      for (std::size_t e = 0; e < entries.size(); ++e) {
+        if (entries[e].is_new) {
+          fresh.push_back(e);
+        } else {
+          old_ids[vi].push_back(entries[e].id);
+        }
+      }
+      util::shuffle(fresh.begin(), fresh.end(), rng);
+      const std::size_t take = std::min(sample_k, fresh.size());
+      for (std::size_t s = 0; s < take; ++s) {
+        entries[fresh[s]].is_new = false;  // line 10
+        new_ids[vi].push_back(entries[fresh[s]].id);
+      }
+    }
+
+    // Lines 11–12: reversed matrices.
+    std::vector<std::vector<VertexId>> rev_old(n), rev_new(n);
+    for (std::size_t vi = 0; vi < n; ++vi) {
+      const auto v = static_cast<VertexId>(vi);
+      for (const VertexId u : old_ids[vi]) rev_old[u].push_back(v);
+      for (const VertexId u : new_ids[vi]) rev_new[u].push_back(v);
+    }
+
+    // Lines 14–16: merge a ρK-sample of the reversed lists.
+    for (std::size_t vi = 0; vi < n; ++vi) {
+      merge_sample(old_ids[vi], rev_old[vi], sample_k, rng);
+      merge_sample(new_ids[vi], rev_new[vi], sample_k, rng);
+    }
+
+    // Lines 17–22: neighbor checks.
+    std::uint64_t c = 0;
+    for (std::size_t vi = 0; vi < n; ++vi) {
+      const auto& nu = new_ids[vi];
+      const auto& ol = old_ids[vi];
+      for (std::size_t i = 0; i < nu.size(); ++i) {
+        for (std::size_t j = i + 1; j < nu.size(); ++j) {
+          c += check(nu[i], nu[j]);
+        }
+        for (const VertexId u2 : ol) {
+          c += check(nu[i], u2);
+        }
+      }
+    }
+    return c;
+  }
+
+  /// Lines 19–22 for one pair.
+  std::uint64_t check(VertexId u1, VertexId u2) {
+    if (u1 == u2) return 0;
+    // Skip the distance evaluation entirely when neither side could
+    // accept the candidate — the serial analogue of the §4.3.2/§4.3.3
+    // savings; it does not change the result, only the work.
+    auto& l1 = lists_[u1];
+    auto& l2 = lists_[u2];
+    const bool in1 = l1.contains(u2);
+    const bool in2 = l2.contains(u1);
+    if (in1 && in2) return 0;
+    const Dist d = eval(u1, u2);
+    std::uint64_t c = 0;
+    if (!in1) c += static_cast<std::uint64_t>(l1.update(u2, d, true));
+    if (!in2) c += static_cast<std::uint64_t>(l2.update(u1, d, true));
+    return c;
+  }
+
+  static void merge_sample(std::vector<VertexId>& dst,
+                           std::vector<VertexId>& reversed,
+                           std::size_t sample_k, util::Xoshiro256& rng) {
+    util::shuffle(reversed.begin(), reversed.end(), rng);
+    const std::size_t take = std::min(sample_k, reversed.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      const VertexId u = reversed[i];
+      if (std::find(dst.begin(), dst.end(), u) == dst.end()) {
+        dst.push_back(u);
+      }
+    }
+  }
+
+  KnnGraph export_graph() const {
+    KnnGraph graph(lists_.size());
+    for (std::size_t vi = 0; vi < lists_.size(); ++vi) {
+      graph.set_neighbors(static_cast<VertexId>(vi), lists_[vi].sorted());
+    }
+    return graph;
+  }
+
+  const FeatureStore<T>* points_;
+  DistanceFn distance_;
+  NnDescentConfig config_;
+  std::vector<NeighborList> lists_;
+  NnDescentStats stats_;
+};
+
+/// Deduction-friendly helper.
+template <typename T, typename DistanceFn>
+KnnGraph build_nn_descent(const FeatureStore<T>& points, DistanceFn distance,
+                          const NnDescentConfig& config,
+                          NnDescentStats* stats_out = nullptr) {
+  NnDescent<T, DistanceFn> builder(points, std::move(distance), config);
+  KnnGraph graph = builder.build();
+  if (stats_out != nullptr) *stats_out = builder.stats();
+  return graph;
+}
+
+}  // namespace dnnd::core

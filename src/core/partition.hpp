@@ -1,0 +1,115 @@
+// Vertex-to-rank partitioning.
+//
+// DNND assigns each vertex (feature + neighbor list) to a rank "based on
+// the hash values of the vertex IDs" (paper §4) — great load balance,
+// zero locality: a vertex's neighbors land on random ranks, so nearly all
+// neighbor checks go off-node. This module makes the mapping pluggable:
+//
+//   Partition::hash(R)             the paper's scheme (default everywhere)
+//   Partition::range(bounds)       contiguous id ranges per rank; paired
+//                                  with an RP-tree reordering of the
+//                                  dataset it becomes locality-aware
+//                                  (Pyramid-style): spatial neighbors get
+//                                  nearby ids, nearby ids share a rank
+//
+// Every rank holds the same Partition (O(R) state), so ownership is
+// computable anywhere without communication — the invariant the whole
+// message protocol relies on.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/feature_store.hpp"
+#include "core/rp_tree.hpp"
+#include "core/types.hpp"
+#include "util/hash.hpp"
+
+namespace dnnd::core {
+
+class Partition {
+ public:
+  /// Paper default: owner = mix(id) mod R.
+  static Partition hash(int num_ranks) {
+    if (num_ranks < 1) throw std::invalid_argument("Partition: ranks < 1");
+    Partition p;
+    p.num_ranks_ = num_ranks;
+    return p;
+  }
+
+  /// Range scheme: rank r owns ids in [bounds[r-1], bounds[r]) with an
+  /// implicit bounds[-1] = 0; ids >= bounds.back() belong to the last
+  /// rank. `upper_bounds` must be non-decreasing, one entry per rank.
+  static Partition range(std::vector<VertexId> upper_bounds) {
+    if (upper_bounds.empty()) {
+      throw std::invalid_argument("Partition: empty bounds");
+    }
+    if (!std::is_sorted(upper_bounds.begin(), upper_bounds.end())) {
+      throw std::invalid_argument("Partition: bounds not sorted");
+    }
+    Partition p;
+    p.num_ranks_ = static_cast<int>(upper_bounds.size());
+    p.bounds_ = std::move(upper_bounds);
+    return p;
+  }
+
+  /// Equal-count ranges over a dense id space [0, n).
+  static Partition even_ranges(std::size_t n, int num_ranks) {
+    std::vector<VertexId> bounds;
+    bounds.reserve(static_cast<std::size_t>(num_ranks));
+    for (int r = 1; r <= num_ranks; ++r) {
+      bounds.push_back(static_cast<VertexId>(
+          n * static_cast<std::size_t>(r) /
+          static_cast<std::size_t>(num_ranks)));
+    }
+    return range(std::move(bounds));
+  }
+
+  [[nodiscard]] int owner(VertexId id) const noexcept {
+    if (bounds_.empty()) return util::owner_rank(id, num_ranks_);
+    const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), id);
+    const auto idx = static_cast<int>(it - bounds_.begin());
+    return idx < num_ranks_ ? idx : num_ranks_ - 1;
+  }
+
+  [[nodiscard]] int num_ranks() const noexcept { return num_ranks_; }
+  [[nodiscard]] bool is_hash() const noexcept { return bounds_.empty(); }
+
+ private:
+  Partition() = default;
+  int num_ranks_ = 1;
+  std::vector<VertexId> bounds_;  ///< empty = hash mode
+};
+
+/// Spatial reordering for locality partitioning: returns the ids of
+/// `points` permuted by one RP-tree's leaf traversal (points in the same
+/// leaf — spatial neighbors — become contiguous).
+template <typename T>
+std::vector<VertexId> rp_tree_order(const FeatureStore<T>& points,
+                                    std::uint64_t seed = 1337) {
+  RpTreeParams params;
+  params.num_trees = 1;
+  params.seed = seed;
+  const RpForest<T> forest(points, params);
+  return std::vector<VertexId>(forest.leaf_order(0).begin(),
+                               forest.leaf_order(0).end());
+}
+
+/// Builds a new store with dense ids 0..N-1 assigned in `order`; returns
+/// the reordered store plus old-id lookup (new id -> original id).
+template <typename T>
+std::pair<FeatureStore<T>, std::vector<VertexId>> reorder_dense(
+    const FeatureStore<T>& points, const std::vector<VertexId>& order) {
+  FeatureStore<T> out;
+  std::vector<VertexId> original;
+  original.reserve(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    out.add(static_cast<VertexId>(i), points[order[i]]);
+    original.push_back(order[i]);
+  }
+  return {std::move(out), std::move(original)};
+}
+
+}  // namespace dnnd::core

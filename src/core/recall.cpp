@@ -1,0 +1,68 @@
+#include "core/recall.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnnd::core {
+
+double graph_recall(const KnnGraph& approx, const KnnGraph& ground_truth,
+                    std::size_t k) {
+  if (approx.num_vertices() != ground_truth.num_vertices()) {
+    throw std::invalid_argument("graph_recall: vertex counts differ");
+  }
+  const std::size_t n = approx.num_vertices();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t vi = 0; vi < n; ++vi) {
+    const auto v = static_cast<VertexId>(vi);
+    const auto a = approx.neighbors(v);
+    const auto g = ground_truth.neighbors(v);
+    const std::size_t take = std::min(k, g.size());
+    if (take == 0) continue;
+    std::size_t hits = 0;
+    const std::size_t a_take = std::min(k, a.size());
+    for (std::size_t i = 0; i < a_take; ++i) {
+      for (std::size_t j = 0; j < take; ++j) {
+        if (a[i].id == g[j].id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    sum += static_cast<double>(hits) / static_cast<double>(take);
+  }
+  return sum / static_cast<double>(n);
+}
+
+double query_recall(std::span<const Neighbor> computed,
+                    std::span<const VertexId> truth_ids, std::size_t k) {
+  const std::size_t take = std::min(k, truth_ids.size());
+  if (take == 0) return 0.0;
+  std::size_t hits = 0;
+  const std::size_t c_take = std::min(k, computed.size());
+  for (std::size_t i = 0; i < c_take; ++i) {
+    for (std::size_t j = 0; j < take; ++j) {
+      if (computed[i].id == truth_ids[j]) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(take);
+}
+
+double mean_query_recall(
+    const std::vector<std::vector<Neighbor>>& computed,
+    const std::vector<std::vector<VertexId>>& truth_ids, std::size_t k) {
+  if (computed.size() != truth_ids.size()) {
+    throw std::invalid_argument("mean_query_recall: batch sizes differ");
+  }
+  if (computed.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < computed.size(); ++i) {
+    sum += query_recall(computed[i], truth_ids[i], k);
+  }
+  return sum / static_cast<double>(computed.size());
+}
+
+}  // namespace dnnd::core

@@ -1,0 +1,27 @@
+// Recall metrics (§5.2 graph recall, §5.3.3 query recall@k).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/knn_graph.hpp"
+#include "core/types.hpp"
+
+namespace dnnd::core {
+
+/// §5.2: per-vertex ratio of approximate neighbor ids present in the
+/// ground-truth row, averaged over the graph. Rows are compared on the
+/// first min(k, row length) entries of each.
+double graph_recall(const KnnGraph& approx, const KnnGraph& ground_truth,
+                    std::size_t k);
+
+/// recall@k for one query: |computed ∩ truth| / k over the top-k of each.
+double query_recall(std::span<const Neighbor> computed,
+                    std::span<const VertexId> truth_ids, std::size_t k);
+
+/// Mean recall@k over a batch (paper reports the mean over 10k queries).
+double mean_query_recall(
+    const std::vector<std::vector<Neighbor>>& computed,
+    const std::vector<std::vector<VertexId>>& truth_ids, std::size_t k);
+
+}  // namespace dnnd::core

@@ -1,0 +1,33 @@
+// Fundamental types shared across the DNND core.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dnnd::core {
+
+/// Global point/vertex id. The paper stores ids as uint32 ("We also used
+/// uint32 to represent point IDs", §5.3), which bounds datasets at ~4.3 B
+/// points — enough for the billion-scale evaluation.
+using VertexId = std::uint32_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// Distances are float32: both evaluation datasets use float/uint8
+/// features and float accumulation matches Hnswlib/PyNNDescent practice.
+using Dist = float;
+
+inline constexpr Dist kInfiniteDistance = std::numeric_limits<Dist>::infinity();
+
+/// One entry of a k-NN list: Algorithm 1 stores (id, distance, new-flag)
+/// triples; the flag drives old/new sampling.
+struct Neighbor {
+  VertexId id = kInvalidVertex;
+  Dist distance = kInfiniteDistance;
+  bool is_new = true;
+
+  friend bool operator==(const Neighbor&, const Neighbor&) = default;
+};
+
+}  // namespace dnnd::core

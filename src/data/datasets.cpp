@@ -1,0 +1,93 @@
+#include "data/datasets.hpp"
+
+#include <stdexcept>
+
+namespace dnnd::data {
+namespace {
+
+/// Mixture dimensions follow Table 1; cluster counts loosely track corpus
+/// "shape" (more clusters for the larger, more varied corpora). Centers
+/// overlap (range comparable to the within-cluster spread) because real
+/// embedding corpora yield *connected* k-NN graphs; widely separated
+/// synthetic clusters do not, and no greedy graph search can cross
+/// components (calibration in EXPERIMENTS.md).
+MixtureSpec mixture_for(const DatasetSpec& spec, std::size_t clusters) {
+  MixtureSpec m;
+  m.dim = spec.dim;
+  m.num_clusters = clusters;
+  m.seed = spec.seed;
+  m.cluster_std = 1.5f;
+  m.center_range = spec.billion_scale ? 2.0f : 3.0f;
+  return m;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& table1() {
+  static const std::vector<DatasetSpec> specs = {
+      // name, dim, paper entries, scaled entries, metric, element, seed
+      {"fashion-mnist", 784, 60'000, 4'000, core::Metric::kL2,
+       ElementKind::kFloat32, 101, false},
+      {"glove-25", 25, 1'183'514, 8'000, core::Metric::kCosine,
+       ElementKind::kFloat32, 102, false},
+      {"kosarak", 27'983, 74'962, 3'000, core::Metric::kJaccard,
+       ElementKind::kSparseIds, 103, false},
+      {"mnist", 784, 60'000, 4'000, core::Metric::kL2, ElementKind::kFloat32,
+       104, false},
+      {"nytimes", 256, 290'000, 5'000, core::Metric::kCosine,
+       ElementKind::kFloat32, 105, false},
+      {"lastfm", 65, 292'385, 5'000, core::Metric::kCosine,
+       ElementKind::kFloat32, 106, false},
+      {"deep1b", 96, 1'000'000'000, 20'000, core::Metric::kL2,
+       ElementKind::kFloat32, 107, true},
+      {"bigann", 128, 1'000'000'000, 20'000, core::Metric::kL2,
+       ElementKind::kUint8, 108, true},
+  };
+  return specs;
+}
+
+const DatasetSpec& dataset_by_name(const std::string& name) {
+  for (const auto& spec : table1()) {
+    if (spec.name == name) return spec;
+  }
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+DenseFloatDataset make_dense_float(const DatasetSpec& spec, double scale,
+                                   std::size_t num_queries) {
+  if (spec.element != ElementKind::kFloat32) {
+    throw std::invalid_argument(spec.name + " is not a float32 dataset");
+  }
+  const auto n = static_cast<std::size_t>(
+      static_cast<double>(spec.scaled_entries) * scale);
+  const GaussianMixture family(mixture_for(spec, spec.billion_scale ? 64 : 24));
+  return DenseFloatDataset{family.sample(n, 1), family.sample(num_queries, 2)};
+}
+
+DenseU8Dataset make_dense_u8(const DatasetSpec& spec, double scale,
+                             std::size_t num_queries) {
+  if (spec.element != ElementKind::kUint8) {
+    throw std::invalid_argument(spec.name + " is not a uint8 dataset");
+  }
+  const auto n = static_cast<std::size_t>(
+      static_cast<double>(spec.scaled_entries) * scale);
+  const GaussianMixture family(mixture_for(spec, spec.billion_scale ? 64 : 24));
+  return DenseU8Dataset{family.sample_u8(n, 1),
+                        family.sample_u8(num_queries, 2)};
+}
+
+SparseDataset make_sparse(const DatasetSpec& spec, double scale,
+                          std::size_t num_queries) {
+  if (spec.element != ElementKind::kSparseIds) {
+    throw std::invalid_argument(spec.name + " is not a sparse dataset");
+  }
+  const auto n = static_cast<std::size_t>(
+      static_cast<double>(spec.scaled_entries) * scale);
+  SparseSetSpec s;
+  s.universe = static_cast<std::uint32_t>(spec.dim);
+  s.seed = spec.seed;
+  const SparseSetFamily family(s);
+  return SparseDataset{family.sample(n, 1), family.sample(num_queries, 2)};
+}
+
+}  // namespace dnnd::data

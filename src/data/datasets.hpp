@@ -1,0 +1,68 @@
+// Dataset registry mirroring Table 1 of the paper.
+//
+// Each entry records the paper's dataset (name, dimensionality, entry
+// count, metric) and the scaled-down synthetic stand-in this reproduction
+// evaluates on (see DESIGN.md §2). `scaled_entries` keeps the *relative*
+// sizes of the corpora while staying tractable in simulation; benches may
+// scale further via a multiplier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/distance.hpp"
+#include "core/feature_store.hpp"
+#include "data/synthetic.hpp"
+
+namespace dnnd::data {
+
+enum class ElementKind { kFloat32, kUint8, kSparseIds };
+
+struct DatasetSpec {
+  std::string name;
+  std::size_t dim = 0;            ///< paper dimensionality
+  std::size_t paper_entries = 0;  ///< Table 1 entry count
+  std::size_t scaled_entries = 0; ///< stand-in size at scale 1.0
+  core::Metric metric = core::Metric::kL2;
+  ElementKind element = ElementKind::kFloat32;
+  std::uint64_t seed = 0;         ///< family seed (fixed per dataset)
+  bool billion_scale = false;     ///< true for DEEP1B / BigANN rows
+};
+
+/// All eight Table-1 rows.
+const std::vector<DatasetSpec>& table1();
+
+/// Lookup by name ("fashion-mnist", "glove-25", "kosarak", "mnist",
+/// "nytimes", "lastfm", "deep1b", "bigann"). Throws on unknown name.
+const DatasetSpec& dataset_by_name(const std::string& name);
+
+/// Base + query sets for one spec. Query ground truth is computed by the
+/// caller via brute force (baselines/brute_force.hpp).
+struct DenseFloatDataset {
+  core::FeatureStore<float> base;
+  core::FeatureStore<float> queries;
+};
+struct DenseU8Dataset {
+  core::FeatureStore<std::uint8_t> base;
+  core::FeatureStore<std::uint8_t> queries;
+};
+struct SparseDataset {
+  core::FeatureStore<std::uint32_t> base;
+  core::FeatureStore<std::uint32_t> queries;
+};
+
+/// Instantiates the synthetic stand-in for a dense float spec.
+/// `scale` multiplies scaled_entries. Pre: spec.element == kFloat32.
+DenseFloatDataset make_dense_float(const DatasetSpec& spec, double scale,
+                                   std::size_t num_queries);
+
+/// Pre: spec.element == kUint8.
+DenseU8Dataset make_dense_u8(const DatasetSpec& spec, double scale,
+                             std::size_t num_queries);
+
+/// Pre: spec.element == kSparseIds.
+SparseDataset make_sparse(const DatasetSpec& spec, double scale,
+                          std::size_t num_queries);
+
+}  // namespace dnnd::data

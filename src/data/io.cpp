@@ -1,0 +1,162 @@
+#include "data/io.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace dnnd::data {
+namespace {
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return in;
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  return out;
+}
+
+template <typename T>
+void write_raw(std::ofstream& out, const T* data, std::size_t count) {
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+void read_raw(std::ifstream& in, T* data, std::size_t count,
+              const std::string& path) {
+  in.read(reinterpret_cast<char*>(data),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (in.gcount() != static_cast<std::streamsize>(count * sizeof(T))) {
+    throw std::runtime_error("truncated file: " + path);
+  }
+}
+
+/// TEXMEX rows: int32 dim + `dim` elements of V.
+template <typename V>
+void write_vecs(const std::string& path, const core::FeatureStore<V>& points) {
+  auto out = open_out(path);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto row = points.row(i);
+    const auto dim = static_cast<std::int32_t>(row.size());
+    write_raw(out, &dim, 1);
+    write_raw(out, row.data(), row.size());
+  }
+  if (!out.good()) throw std::runtime_error("write failed: " + path);
+}
+
+template <typename V>
+core::FeatureStore<V> read_vecs(const std::string& path) {
+  auto in = open_in(path);
+  core::FeatureStore<V> store;
+  std::vector<V> row;
+  core::VertexId next_id = 0;
+  while (true) {
+    std::int32_t dim = 0;
+    in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+    if (in.gcount() == 0 && in.eof()) break;
+    if (in.gcount() != sizeof(dim) || dim < 0) {
+      throw std::runtime_error("malformed vecs row header: " + path);
+    }
+    row.resize(static_cast<std::size_t>(dim));
+    read_raw(in, row.data(), row.size(), path);
+    store.add(next_id++, row);
+  }
+  return store;
+}
+
+/// Big-ANN layout: uint32 n, uint32 dim, then n*dim elements. Requires
+/// uniform row length (dense datasets only).
+template <typename V>
+void write_bin(const std::string& path, const core::FeatureStore<V>& points) {
+  auto out = open_out(path);
+  const auto n = static_cast<std::uint32_t>(points.size());
+  const auto dim = static_cast<std::uint32_t>(points.dim());
+  write_raw(out, &n, 1);
+  write_raw(out, &dim, 1);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto row = points.row(i);
+    if (row.size() != dim) {
+      throw std::runtime_error("write_bin: non-uniform row length");
+    }
+    write_raw(out, row.data(), row.size());
+  }
+  if (!out.good()) throw std::runtime_error("write failed: " + path);
+}
+
+template <typename V>
+core::FeatureStore<V> read_bin(const std::string& path) {
+  auto in = open_in(path);
+  std::uint32_t n = 0, dim = 0;
+  read_raw(in, &n, 1, path);
+  read_raw(in, &dim, 1, path);
+  std::vector<V> values(static_cast<std::size_t>(n) * dim);
+  read_raw(in, values.data(), values.size(), path);
+  return core::FeatureStore<V>(n, dim, std::move(values));
+}
+
+}  // namespace
+
+void write_fvecs(const std::string& path,
+                 const core::FeatureStore<float>& points) {
+  write_vecs(path, points);
+}
+core::FeatureStore<float> read_fvecs(const std::string& path) {
+  return read_vecs<float>(path);
+}
+
+void write_bvecs(const std::string& path,
+                 const core::FeatureStore<std::uint8_t>& points) {
+  write_vecs(path, points);
+}
+core::FeatureStore<std::uint8_t> read_bvecs(const std::string& path) {
+  return read_vecs<std::uint8_t>(path);
+}
+
+void write_ivecs(const std::string& path,
+                 const std::vector<std::vector<core::VertexId>>& rows) {
+  auto out = open_out(path);
+  for (const auto& row : rows) {
+    const auto dim = static_cast<std::int32_t>(row.size());
+    write_raw(out, &dim, 1);
+    write_raw(out, row.data(), row.size());
+  }
+  if (!out.good()) throw std::runtime_error("write failed: " + path);
+}
+
+std::vector<std::vector<core::VertexId>> read_ivecs(const std::string& path) {
+  auto in = open_in(path);
+  std::vector<std::vector<core::VertexId>> rows;
+  while (true) {
+    std::int32_t dim = 0;
+    in.read(reinterpret_cast<char*>(&dim), sizeof(dim));
+    if (in.gcount() == 0 && in.eof()) break;
+    if (in.gcount() != sizeof(dim) || dim < 0) {
+      throw std::runtime_error("malformed ivecs row header: " + path);
+    }
+    std::vector<core::VertexId> row(static_cast<std::size_t>(dim));
+    read_raw(in, row.data(), row.size(), path);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void write_fbin(const std::string& path,
+                const core::FeatureStore<float>& points) {
+  write_bin(path, points);
+}
+core::FeatureStore<float> read_fbin(const std::string& path) {
+  return read_bin<float>(path);
+}
+
+void write_u8bin(const std::string& path,
+                 const core::FeatureStore<std::uint8_t>& points) {
+  write_bin(path, points);
+}
+core::FeatureStore<std::uint8_t> read_u8bin(const std::string& path) {
+  return read_bin<std::uint8_t>(path);
+}
+
+}  // namespace dnnd::data

@@ -1,0 +1,50 @@
+// Dataset file formats.
+//
+// Readers/writers for the formats the paper's corpora ship in, so the
+// system runs unmodified on the real data when it is available:
+//
+//   *.fvecs / *.bvecs / *.ivecs   TEXMEX layout: per row, an int32
+//                                 dimension followed by dim values
+//                                 (float32 / uint8 / int32 respectively);
+//                                 ANN-Benchmarks ground truth uses ivecs.
+//   *.fbin / *.u8bin / *.ibin     Big-ANN-Benchmarks layout: uint32 n,
+//                                 uint32 dim header, then n*dim values.
+//
+// All functions throw std::runtime_error on malformed input.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/feature_store.hpp"
+#include "core/types.hpp"
+
+namespace dnnd::data {
+
+// -- TEXMEX *vecs ------------------------------------------------------------
+
+void write_fvecs(const std::string& path,
+                 const core::FeatureStore<float>& points);
+core::FeatureStore<float> read_fvecs(const std::string& path);
+
+void write_bvecs(const std::string& path,
+                 const core::FeatureStore<std::uint8_t>& points);
+core::FeatureStore<std::uint8_t> read_bvecs(const std::string& path);
+
+/// Ground-truth neighbor id lists (one row per query).
+void write_ivecs(const std::string& path,
+                 const std::vector<std::vector<core::VertexId>>& rows);
+std::vector<std::vector<core::VertexId>> read_ivecs(const std::string& path);
+
+// -- Big-ANN *bin ------------------------------------------------------------
+
+void write_fbin(const std::string& path,
+                const core::FeatureStore<float>& points);
+core::FeatureStore<float> read_fbin(const std::string& path);
+
+void write_u8bin(const std::string& path,
+                 const core::FeatureStore<std::uint8_t>& points);
+core::FeatureStore<std::uint8_t> read_u8bin(const std::string& path);
+
+}  // namespace dnnd::data

@@ -1,0 +1,100 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dnnd::data {
+
+GaussianMixture::GaussianMixture(MixtureSpec spec) : spec_(spec) {
+  util::Xoshiro256 rng(spec_.seed);
+  centers_.resize(spec_.num_clusters * spec_.dim);
+  for (auto& c : centers_) {
+    c = rng.uniform_float(-spec_.center_range, spec_.center_range);
+  }
+}
+
+core::FeatureStore<float> GaussianMixture::sample(std::size_t n,
+                                                  std::uint64_t seed) const {
+  util::Xoshiro256 rng(util::Xoshiro256(spec_.seed).fork(seed)());
+  std::vector<float> values(n * spec_.dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t cluster = rng.uniform_below(spec_.num_clusters);
+    const float* center = centers_.data() + cluster * spec_.dim;
+    for (std::size_t d = 0; d < spec_.dim; ++d) {
+      values[i * spec_.dim + d] =
+          center[d] + spec_.cluster_std * static_cast<float>(rng.normal());
+    }
+  }
+  return core::FeatureStore<float>(n, spec_.dim, std::move(values));
+}
+
+core::FeatureStore<std::uint8_t> GaussianMixture::sample_u8(
+    std::size_t n, std::uint64_t seed) const {
+  const auto floats = sample(n, seed);
+  // Fixed affine range: centers live in [-range, range], plus ~4 sigma of
+  // within-cluster spread. Clamping the tail loses negligible mass and
+  // keeps the mapping identical across base/query draws.
+  const float lo = -spec_.center_range - 4.0f * spec_.cluster_std;
+  const float hi = spec_.center_range + 4.0f * spec_.cluster_std;
+  const float scale = 255.0f / (hi - lo);
+  std::vector<std::uint8_t> values(n * spec_.dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = floats.row(i);
+    for (std::size_t d = 0; d < spec_.dim; ++d) {
+      const float clamped = std::clamp(row[d], lo, hi);
+      values[i * spec_.dim + d] =
+          static_cast<std::uint8_t>(std::lround((clamped - lo) * scale));
+    }
+  }
+  return core::FeatureStore<std::uint8_t>(n, spec_.dim, std::move(values));
+}
+
+core::FeatureStore<float> make_uniform(std::size_t n, std::size_t dim,
+                                       float lo, float hi,
+                                       std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<float> values(n * dim);
+  for (auto& v : values) v = rng.uniform_float(lo, hi);
+  return core::FeatureStore<float>(n, dim, std::move(values));
+}
+
+SparseSetFamily::SparseSetFamily(SparseSetSpec spec) : spec_(spec) {
+  util::Xoshiro256 rng(spec_.seed);
+  topic_items_.resize(spec_.num_topics * spec_.items_per_topic);
+  for (auto& item : topic_items_) {
+    item = static_cast<std::uint32_t>(rng.uniform_below(spec_.universe));
+  }
+}
+
+core::FeatureStore<std::uint32_t> SparseSetFamily::sample(
+    std::size_t n, std::uint64_t seed) const {
+  util::Xoshiro256 rng(util::Xoshiro256(spec_.seed).fork(seed)());
+  core::FeatureStore<std::uint32_t> store;
+  std::vector<std::uint32_t> set;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t topic = rng.uniform_below(spec_.num_topics);
+    const std::uint32_t* items =
+        topic_items_.data() + topic * spec_.items_per_topic;
+    const std::size_t size =
+        spec_.min_size + rng.uniform_below(spec_.max_size - spec_.min_size + 1);
+    set.clear();
+    while (set.size() < size) {
+      std::uint32_t item;
+      if (rng.bernoulli(spec_.background_rate)) {
+        item = static_cast<std::uint32_t>(rng.uniform_below(spec_.universe));
+      } else {
+        item = items[rng.uniform_below(spec_.items_per_topic)];
+      }
+      if (std::find(set.begin(), set.end(), item) == set.end()) {
+        set.push_back(item);
+      }
+    }
+    std::sort(set.begin(), set.end());
+    store.add(static_cast<core::VertexId>(i), set);
+  }
+  return store;
+}
+
+}  // namespace dnnd::data

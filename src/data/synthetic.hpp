@@ -1,0 +1,82 @@
+// Synthetic dataset generators (DESIGN.md §2 substitution for the
+// ANN-Benchmarks / Big-ANN corpora).
+//
+// NN-Descent's convergence behaviour depends on points having *local
+// neighborhood structure* — the "my neighbors' neighbors are my
+// neighbors" property. Clustered Gaussian mixtures provide it; uniform
+// data is the adversarial control. Queries must come from the same
+// distribution as the base set, so generators are stateful families:
+// construct once (fixes the cluster centers), then sample base and query
+// sets with different seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/feature_store.hpp"
+
+namespace dnnd::data {
+
+struct MixtureSpec {
+  std::size_t dim = 16;
+  std::size_t num_clusters = 32;
+  float center_range = 10.0f;  ///< centers uniform in [-range, range]^dim
+  float cluster_std = 1.0f;    ///< isotropic within-cluster std deviation
+  std::uint64_t seed = 1234;   ///< fixes the centers
+};
+
+/// Isotropic Gaussian mixture over fixed random centers.
+class GaussianMixture {
+ public:
+  explicit GaussianMixture(MixtureSpec spec);
+
+  [[nodiscard]] const MixtureSpec& spec() const noexcept { return spec_; }
+
+  /// `n` float32 points; `seed` selects the draw (base vs query sets).
+  [[nodiscard]] core::FeatureStore<float> sample(std::size_t n,
+                                                 std::uint64_t seed) const;
+
+  /// BigANN-style uint8 points: same mixture, affinely quantized to
+  /// [0, 255] using the family's fixed value range.
+  [[nodiscard]] core::FeatureStore<std::uint8_t> sample_u8(
+      std::size_t n, std::uint64_t seed) const;
+
+ private:
+  MixtureSpec spec_;
+  std::vector<float> centers_;  ///< num_clusters x dim, row-major
+};
+
+/// Uniform points in [lo, hi]^dim — the no-structure control.
+[[nodiscard]] core::FeatureStore<float> make_uniform(std::size_t n,
+                                                     std::size_t dim, float lo,
+                                                     float hi,
+                                                     std::uint64_t seed);
+
+struct SparseSetSpec {
+  std::uint32_t universe = 20000;  ///< item id range (Kosarak: ~28k)
+  std::size_t num_topics = 64;     ///< latent topics points draw items from
+  std::size_t items_per_topic = 50;
+  std::size_t min_size = 10;       ///< set cardinality range
+  std::size_t max_size = 60;
+  double background_rate = 0.1;    ///< fraction of items drawn uniformly
+  std::uint64_t seed = 4321;       ///< fixes the topics
+};
+
+/// Sparse sorted id-set generator (Jaccard metric, Kosarak stand-in).
+/// Each point picks a topic and draws most items from it, so points on
+/// the same topic are Jaccard-close.
+class SparseSetFamily {
+ public:
+  explicit SparseSetFamily(SparseSetSpec spec);
+
+  [[nodiscard]] const SparseSetSpec& spec() const noexcept { return spec_; }
+
+  [[nodiscard]] core::FeatureStore<std::uint32_t> sample(
+      std::size_t n, std::uint64_t seed) const;
+
+ private:
+  SparseSetSpec spec_;
+  std::vector<std::uint32_t> topic_items_;  ///< num_topics x items_per_topic
+};
+
+}  // namespace dnnd::data

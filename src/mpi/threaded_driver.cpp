@@ -1,0 +1,68 @@
+#include "mpi/threaded_driver.hpp"
+
+#include <barrier>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dnnd::mpi {
+
+void run_threaded_phase(World& world, int num_ranks,
+                        const std::function<void(int)>& phase,
+                        const std::function<void(int)>& flush,
+                        const std::function<std::size_t(int)>& process) {
+  std::barrier sync(num_ranks);
+  // First handler exception wins; the rest of the ranks still need to
+  // terminate, so the drain loop keeps a "failed" flag instead of
+  // propagating immediately.
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::atomic<bool> failed{false};
+
+  auto worker = [&](int rank) {
+    try {
+      phase(rank);
+      flush(rank);
+    } catch (...) {
+      {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      failed.store(true);
+    }
+    // All ranks must complete the phase body before quiescence checks are
+    // meaningful: until then a rank that has not called async() yet could
+    // still create work.
+    sync.arrive_and_wait();
+    while (!failed.load(std::memory_order_relaxed)) {
+      try {
+        flush(rank);
+        const std::size_t handled = process(rank);
+        if (handled == 0) {
+          // Nothing delivered locally; if the whole world is quiescent the
+          // barrier is complete. The counters are seq_cst, and once
+          // submitted == processed no handler is running anywhere, so no
+          // new messages can appear and the condition is stable.
+          if (world.quiescent()) break;
+          std::this_thread::yield();
+        }
+      } catch (...) {
+        {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        failed.store(true);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) threads.emplace_back(worker, r);
+  for (auto& t : threads) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace dnnd::mpi

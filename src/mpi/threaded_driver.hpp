@@ -1,0 +1,31 @@
+// Threaded phase driver with counting-based termination detection.
+//
+// One std::thread per simulated rank. After every thread finishes the phase
+// body and flushes its send buffers, the threads cooperatively drain
+// messages until the World's submitted/processed counters agree — the same
+// quiescence condition a YGM barrier establishes with distributed
+// counting. Separated from Environment so it can be unit-tested directly
+// against adversarial handler patterns (handlers that send chains of
+// follow-up messages, self-sends, etc.).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "mpi/world.hpp"
+
+namespace dnnd::mpi {
+
+/// Runs `phase(rank)` on a dedicated thread per rank, then drains messages
+/// to global quiescence.
+///
+/// `flush(rank)` must push that rank's buffered sends to the transport;
+/// `process(rank)` must deliver a bounded batch of inbound messages and
+/// return how many were handled. Both are invoked only from rank `rank`'s
+/// thread.
+void run_threaded_phase(World& world, int num_ranks,
+                        const std::function<void(int)>& phase,
+                        const std::function<void(int)>& flush,
+                        const std::function<std::size_t(int)>& process);
+
+}  // namespace dnnd::mpi

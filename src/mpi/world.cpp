@@ -1,0 +1,43 @@
+#include "mpi/world.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dnnd::mpi {
+
+World::World(int num_ranks) : num_ranks_(num_ranks) {
+  if (num_ranks < 1) throw std::invalid_argument("World: num_ranks < 1");
+  mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
+  for (int r = 0; r < num_ranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void World::post(int dest, Datagram&& datagram) {
+  assert(dest >= 0 && dest < num_ranks_);
+  auto& box = *mailboxes_[static_cast<std::size_t>(dest)];
+  {
+    const std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(std::move(datagram));
+  }
+  datagrams_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool World::try_collect(int rank, Datagram& out) {
+  assert(rank >= 0 && rank < num_ranks_);
+  auto& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  const std::lock_guard<std::mutex> lock(box.mutex);
+  if (box.queue.empty()) return false;
+  out = std::move(box.queue.front());
+  box.queue.pop_front();
+  return true;
+}
+
+bool World::mailbox_empty(int rank) const {
+  assert(rank >= 0 && rank < num_ranks_);
+  const auto& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  const std::lock_guard<std::mutex> lock(box.mutex);
+  return box.queue.empty();
+}
+
+}  // namespace dnnd::mpi

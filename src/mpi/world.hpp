@@ -1,0 +1,102 @@
+// Simulated message-passing transport.
+//
+// The paper runs on MPI (MVAPICH2) across a 50-node cluster. This module is
+// the substitution documented in DESIGN.md §2: an in-process transport with
+// one mailbox per simulated rank. It carries exactly the bytes a real MPI
+// transport would carry (serialized payloads produced by dnnd::serial), so
+// message-count and message-volume experiments are faithful; only absolute
+// wall-clock time differs from real hardware.
+//
+// The World is pure transport: it moves byte buffers and maintains the
+// global sent/processed counters needed for termination detection. Handler
+// dispatch lives one layer up in dnnd::comm (the YGM-equivalent).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace dnnd::mpi {
+
+/// One transport-level datagram. A datagram may carry several application
+/// messages packed back-to-back by the communicator's send buffering.
+struct Datagram {
+  int source = -1;
+  /// Number of application-level messages packed in `payload`; the World
+  /// tracks these for termination detection.
+  std::uint32_t message_count = 0;
+  std::vector<std::byte> payload;
+};
+
+/// In-process stand-in for an MPI communicator's transport layer.
+///
+/// Thread safety: `post`, `try_collect`, and the counter methods are safe to
+/// call concurrently (the threaded driver runs one thread per rank). The
+/// sequential driver calls them from a single thread.
+class World {
+ public:
+  explicit World(int num_ranks);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  [[nodiscard]] int size() const noexcept { return num_ranks_; }
+
+  /// Enqueues a datagram into `dest`'s mailbox.
+  /// Pre: 0 <= dest < size(), datagram.message_count messages were
+  /// previously announced via note_messages_submitted().
+  void post(int dest, Datagram&& datagram);
+
+  /// Pops one datagram from `rank`'s mailbox. Returns false if empty.
+  bool try_collect(int rank, Datagram& out);
+
+  [[nodiscard]] bool mailbox_empty(int rank) const;
+
+  // -- Termination-detection counters -----------------------------------
+  //
+  // A message is "submitted" the moment the application hands it to the
+  // communicator (it may sit in a send buffer before post()), and
+  // "processed" after its handler ran. Global quiescence ==
+  // submitted == processed. Counting at submission rather than at post()
+  // closes the window where a message is buffered but not yet visible.
+
+  void note_messages_submitted(std::uint64_t n) noexcept {
+    submitted_.fetch_add(n, std::memory_order_seq_cst);
+  }
+  void note_messages_processed(std::uint64_t n) noexcept {
+    processed_.fetch_add(n, std::memory_order_seq_cst);
+  }
+  [[nodiscard]] std::uint64_t submitted() const noexcept {
+    return submitted_.load(std::memory_order_seq_cst);
+  }
+  [[nodiscard]] std::uint64_t processed() const noexcept {
+    return processed_.load(std::memory_order_seq_cst);
+  }
+  /// True when every submitted message has been processed.
+  [[nodiscard]] bool quiescent() const noexcept {
+    return submitted() == processed();
+  }
+
+  /// Total datagrams ever posted (transport-level, for diagnostics).
+  [[nodiscard]] std::uint64_t datagrams_posted() const noexcept {
+    return datagrams_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Mailbox {
+    mutable std::mutex mutex;
+    std::deque<Datagram> queue;
+  };
+
+  int num_ranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<std::uint64_t> datagrams_{0};
+};
+
+}  // namespace dnnd::mpi

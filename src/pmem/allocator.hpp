@@ -1,0 +1,73 @@
+// STL-compatible allocator over a persistent arena.
+//
+// Like Metall's allocator, an instance is itself safe to *store inside the
+// arena*: it references the ArenaHeader through a self-relative
+// offset_ptr, so a container persisted in the datastore still finds its
+// heap after the file is remapped at a new address. Transient copies (on
+// the stack, inside algorithms) hold the same self-relative encoding and
+// work for the lifetime of the mapping.
+#pragma once
+
+#include <limits>
+#include <new>
+
+#include "pmem/arena.hpp"
+#include "pmem/offset_ptr.hpp"
+
+namespace dnnd::pmem {
+
+/// Thrown when the arena cannot satisfy an allocation.
+class ArenaExhausted : public std::bad_alloc {
+ public:
+  const char* what() const noexcept override {
+    return "dnnd::pmem arena exhausted";
+  }
+};
+
+template <typename T>
+class allocator {
+ public:
+  using value_type = T;
+  using pointer = offset_ptr<T>;
+  using const_pointer = offset_ptr<const T>;
+  using size_type = std::size_t;
+  using difference_type = std::ptrdiff_t;
+
+  template <typename U>
+  struct rebind {
+    using other = allocator<U>;
+  };
+
+  allocator() noexcept = default;
+  explicit allocator(ArenaHeader* header) noexcept : header_(header) {}
+
+  template <typename U>
+  allocator(const allocator<U>& other) noexcept  // NOLINT
+      : header_(other.header()) {}
+
+  [[nodiscard]] pointer allocate(size_type n) {
+    if (n > max_size()) throw ArenaExhausted();
+    void* p = arena_allocate(header_.get(), n * sizeof(T));
+    if (p == nullptr) throw ArenaExhausted();
+    return pointer(static_cast<T*>(p));
+  }
+
+  void deallocate(pointer p, size_type n) noexcept {
+    arena_deallocate(header_.get(), p.get(), n * sizeof(T));
+  }
+
+  [[nodiscard]] size_type max_size() const noexcept {
+    return std::numeric_limits<size_type>::max() / sizeof(T);
+  }
+
+  [[nodiscard]] ArenaHeader* header() const noexcept { return header_.get(); }
+
+  friend bool operator==(const allocator& a, const allocator& b) noexcept {
+    return a.header() == b.header();
+  }
+
+ private:
+  offset_ptr<ArenaHeader> header_;
+};
+
+}  // namespace dnnd::pmem

@@ -1,0 +1,93 @@
+#include "pmem/arena.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstring>
+
+namespace dnnd::pmem {
+namespace {
+
+constexpr std::size_t kAlignment = 16;
+
+std::size_t round_up(std::size_t n, std::size_t align) noexcept {
+  return (n + align - 1) / align * align;
+}
+
+/// Each free block stores the offset of the next free block of its class in
+/// its first 8 bytes (the block is at least kMinBlockBytes, so it fits).
+std::uint64_t& next_free(ArenaHeader* header, std::uint64_t block_offset) {
+  return *reinterpret_cast<std::uint64_t*>(
+      reinterpret_cast<char*>(header) + block_offset);
+}
+
+}  // namespace
+
+std::size_t size_class_of(std::size_t bytes) noexcept {
+  const std::size_t need = bytes < kMinBlockBytes ? kMinBlockBytes : bytes;
+  const auto width = static_cast<std::size_t>(std::bit_width(need - 1));
+  // Class 0 is 16 B == 2^4.
+  return width <= 4 ? 0 : width - 4;
+}
+
+std::size_t size_class_bytes(std::size_t klass) noexcept {
+  return std::size_t{1} << (klass + 4);
+}
+
+void arena_format(ArenaHeader* header, std::size_t capacity) {
+  *header = ArenaHeader{};
+  header->magic = kArenaMagic;
+  header->version = kArenaVersion;
+  header->capacity = capacity;
+  header->bump = round_up(sizeof(ArenaHeader), kAlignment);
+}
+
+bool arena_validate(const ArenaHeader* header,
+                    std::size_t mapped_bytes) noexcept {
+  if (mapped_bytes < sizeof(ArenaHeader)) return false;
+  return header->magic == kArenaMagic && header->version == kArenaVersion &&
+         header->capacity <= mapped_bytes && header->bump <= header->capacity;
+}
+
+void* arena_allocate(ArenaHeader* header, std::size_t bytes) {
+  if (bytes == 0) bytes = 1;
+  const std::size_t klass = size_class_of(bytes);
+  if (klass >= kNumSizeClasses) return nullptr;
+  const std::size_t block = size_class_bytes(klass);
+
+  std::uint64_t offset = header->free_lists[klass];
+  if (offset != 0) {
+    header->free_lists[klass] = next_free(header, offset);
+  } else {
+    if (header->bump + block > header->capacity) return nullptr;
+    offset = header->bump;
+    header->bump += block;
+  }
+  header->allocated += block;
+  return reinterpret_cast<char*>(header) + offset;
+}
+
+void arena_deallocate(ArenaHeader* header, void* ptr,
+                      std::size_t bytes) noexcept {
+  if (ptr == nullptr) return;
+  if (bytes == 0) bytes = 1;
+  const std::size_t klass = size_class_of(bytes);
+  assert(klass < kNumSizeClasses);
+  const std::uint64_t offset = arena_offset_of(header, ptr);
+  assert(offset >= sizeof(ArenaHeader) && offset < header->capacity);
+  next_free(header, offset) = header->free_lists[klass];
+  header->free_lists[klass] = offset;
+  header->allocated -= size_class_bytes(klass);
+}
+
+std::uint64_t arena_offset_of(const ArenaHeader* header,
+                              const void* ptr) noexcept {
+  return static_cast<std::uint64_t>(static_cast<const char*>(ptr) -
+                                    reinterpret_cast<const char*>(header));
+}
+
+void* arena_pointer_at(ArenaHeader* header, std::uint64_t offset) noexcept {
+  if (offset == 0) return nullptr;
+  return reinterpret_cast<char*>(header) + offset;
+}
+
+}  // namespace dnnd::pmem

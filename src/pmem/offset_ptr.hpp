@@ -1,0 +1,104 @@
+// Self-relative pointer for persistent data structures.
+//
+// A file-backed heap maps at a different virtual address on every open, so
+// raw pointers stored inside it dangle after reopen. An offset_ptr stores
+// the signed distance between itself and its pointee; as long as pointer
+// and pointee live inside the same mapping that distance is invariant
+// under remapping. This is the core trick Metall inherits from
+// boost::interprocess, reimplemented here from scratch.
+//
+// Representation: 0 = distance-to-self is reserved as the null encoding,
+// exactly as in boost.interprocess; an offset_ptr therefore cannot point
+// at its own first byte (never needed in practice: a pointer does not
+// alias its pointee).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+namespace dnnd::pmem {
+
+template <typename T>
+class offset_ptr {
+ public:
+  using element_type = T;
+  using pointer = T*;
+
+  constexpr offset_ptr() noexcept = default;
+  offset_ptr(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  offset_ptr(T* ptr) noexcept { set(ptr); }  // NOLINT(google-explicit-constructor)
+
+  offset_ptr(const offset_ptr& other) noexcept { set(other.get()); }
+
+  /// Converting copy (e.g. offset_ptr<Derived> -> offset_ptr<Base>).
+  template <typename U>
+    requires std::is_convertible_v<U*, T*>
+  offset_ptr(const offset_ptr<U>& other) noexcept {  // NOLINT
+    set(other.get());
+  }
+
+  offset_ptr& operator=(const offset_ptr& other) noexcept {
+    set(other.get());
+    return *this;
+  }
+
+  offset_ptr& operator=(T* ptr) noexcept {
+    set(ptr);
+    return *this;
+  }
+
+  [[nodiscard]] T* get() const noexcept {
+    if (offset_ == 0) return nullptr;
+    return reinterpret_cast<T*>(
+        const_cast<char*>(reinterpret_cast<const char*>(this)) + offset_);
+  }
+
+  T& operator*() const noexcept { return *get(); }
+  T* operator->() const noexcept { return get(); }
+  T& operator[](std::ptrdiff_t i) const noexcept { return get()[i]; }
+
+  explicit operator bool() const noexcept { return offset_ != 0; }
+
+  friend bool operator==(const offset_ptr& a, const offset_ptr& b) noexcept {
+    return a.get() == b.get();
+  }
+  friend bool operator==(const offset_ptr& a, std::nullptr_t) noexcept {
+    return a.offset_ == 0;
+  }
+
+  offset_ptr& operator+=(std::ptrdiff_t n) noexcept {
+    set(get() + n);
+    return *this;
+  }
+  offset_ptr& operator-=(std::ptrdiff_t n) noexcept {
+    set(get() - n);
+    return *this;
+  }
+  friend offset_ptr operator+(offset_ptr p, std::ptrdiff_t n) noexcept {
+    p += n;
+    return p;
+  }
+  friend std::ptrdiff_t operator-(const offset_ptr& a,
+                                  const offset_ptr& b) noexcept {
+    return a.get() - b.get();
+  }
+
+  /// Required by std::pointer_traits for allocator-aware containers.
+  static offset_ptr pointer_to(T& ref) noexcept { return offset_ptr(&ref); }
+
+ private:
+  void set(T* ptr) noexcept {
+    offset_ = (ptr == nullptr)
+                  ? 0
+                  : reinterpret_cast<const char*>(ptr) -
+                        reinterpret_cast<const char*>(this);
+  }
+
+  std::ptrdiff_t offset_ = 0;
+};
+
+static_assert(sizeof(offset_ptr<int>) == sizeof(std::ptrdiff_t));
+
+}  // namespace dnnd::pmem

@@ -1,0 +1,218 @@
+// Persistent dynamic array.
+//
+// A std::vector stores raw pointers in its control block, which do not
+// survive a remap. pmem::vector stores an offset_ptr and the arena-backed
+// allocator, so an instance placed inside the datastore (via
+// Manager::find_or_construct) is fully usable after reopen. It also works
+// with std::allocator for unit testing the container logic in isolation.
+//
+// Supported element types: anything destructible and movable. Growth uses
+// move-or-copy construction element by element (never memcpy), which keeps
+// self-relative members like offset_ptr correct.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "pmem/allocator.hpp"
+
+namespace dnnd::pmem {
+
+template <typename T, typename Alloc = allocator<T>>
+class vector {
+ public:
+  using value_type = T;
+  using size_type = std::size_t;
+  using alloc_traits = std::allocator_traits<Alloc>;
+  using pointer = typename alloc_traits::pointer;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  vector() noexcept(noexcept(Alloc())) = default;
+  explicit vector(const Alloc& alloc) noexcept : alloc_(alloc) {}
+
+  vector(size_type count, const T& value, const Alloc& alloc = Alloc())
+      : alloc_(alloc) {
+    resize(count, value);
+  }
+
+  vector(const vector& other)
+      : alloc_(alloc_traits::select_on_container_copy_construction(
+            other.alloc_)) {
+    reserve(other.size_);
+    for (size_type i = 0; i < other.size_; ++i) push_back(other[i]);
+  }
+
+  vector(vector&& other) noexcept
+      : alloc_(std::move(other.alloc_)),
+        data_(other.data_),
+        size_(other.size_),
+        capacity_(other.capacity_) {
+    other.data_ = pointer{};
+    other.size_ = other.capacity_ = 0;
+  }
+
+  vector& operator=(const vector& other) {
+    if (this == &other) return *this;
+    clear();
+    reserve(other.size_);
+    for (size_type i = 0; i < other.size_; ++i) push_back(other[i]);
+    return *this;
+  }
+
+  vector& operator=(vector&& other) noexcept {
+    if (this == &other) return *this;
+    destroy_all();
+    release_storage();
+    alloc_ = std::move(other.alloc_);
+    data_ = other.data_;
+    size_ = other.size_;
+    capacity_ = other.capacity_;
+    other.data_ = pointer{};
+    other.size_ = other.capacity_ = 0;
+    return *this;
+  }
+
+  ~vector() {
+    destroy_all();
+    release_storage();
+  }
+
+  [[nodiscard]] size_type size() const noexcept { return size_; }
+  [[nodiscard]] size_type capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] T* data() noexcept { return raw(); }
+  [[nodiscard]] const T* data() const noexcept { return raw(); }
+
+  iterator begin() noexcept { return raw(); }
+  iterator end() noexcept { return raw() + size_; }
+  const_iterator begin() const noexcept { return raw(); }
+  const_iterator end() const noexcept { return raw() + size_; }
+
+  T& operator[](size_type i) noexcept { return raw()[i]; }
+  const T& operator[](size_type i) const noexcept { return raw()[i]; }
+
+  T& at(size_type i) {
+    if (i >= size_) throw std::out_of_range("pmem::vector::at");
+    return raw()[i];
+  }
+  const T& at(size_type i) const {
+    if (i >= size_) throw std::out_of_range("pmem::vector::at");
+    return raw()[i];
+  }
+
+  T& front() noexcept { return raw()[0]; }
+  T& back() noexcept { return raw()[size_ - 1]; }
+  const T& front() const noexcept { return raw()[0]; }
+  const T& back() const noexcept { return raw()[size_ - 1]; }
+
+  void reserve(size_type new_capacity) {
+    if (new_capacity <= capacity_) return;
+    regrow(new_capacity);
+  }
+
+  void push_back(const T& value) { emplace_back(value); }
+  void push_back(T&& value) { emplace_back(std::move(value)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) regrow(next_capacity());
+    T* slot = raw() + size_;
+    alloc_traits::construct(alloc_, slot, std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() noexcept {
+    --size_;
+    alloc_traits::destroy(alloc_, raw() + size_);
+  }
+
+  void resize(size_type count) {
+    if (shrink_if_needed(count)) return;
+    reserve(count);
+    while (size_ < count) emplace_back();
+  }
+
+  void resize(size_type count, const T& value) {
+    if (shrink_if_needed(count)) return;
+    reserve(count);
+    while (size_ < count) emplace_back(value);
+  }
+
+  void clear() noexcept {
+    destroy_all();
+    size_ = 0;
+  }
+
+  /// Releases unused capacity back to the arena.
+  void shrink_to_fit() {
+    if (size_ == capacity_) return;
+    if (size_ == 0) {
+      release_storage();
+      data_ = pointer{};
+      capacity_ = 0;
+      return;
+    }
+    regrow(size_);
+  }
+
+  [[nodiscard]] Alloc get_allocator() const { return alloc_; }
+
+  friend bool operator==(const vector& a, const vector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  T* raw() const noexcept { return std::to_address(data_); }
+
+  size_type next_capacity() const noexcept {
+    return capacity_ == 0 ? 4 : capacity_ * 2;
+  }
+
+  void regrow(size_type new_capacity) {
+    pointer fresh = alloc_traits::allocate(alloc_, new_capacity);
+    T* dst = std::to_address(fresh);
+    T* src = raw();
+    for (size_type i = 0; i < size_; ++i) {
+      alloc_traits::construct(alloc_, dst + i, std::move_if_noexcept(src[i]));
+      alloc_traits::destroy(alloc_, src + i);
+    }
+    release_storage();
+    data_ = fresh;
+    capacity_ = new_capacity;
+  }
+
+  /// Handles the shrinking half of resize(); returns true if it applied.
+  bool shrink_if_needed(size_type count) noexcept {
+    if (count >= size_) return false;
+    for (size_type i = count; i < size_; ++i) {
+      alloc_traits::destroy(alloc_, raw() + i);
+    }
+    size_ = count;
+    return true;
+  }
+
+  void destroy_all() noexcept {
+    for (size_type i = 0; i < size_; ++i) {
+      alloc_traits::destroy(alloc_, raw() + i);
+    }
+  }
+
+  void release_storage() noexcept {
+    if (capacity_ != 0) {
+      alloc_traits::deallocate(alloc_, data_, capacity_);
+    }
+  }
+
+  [[no_unique_address]] Alloc alloc_{};
+  pointer data_{};
+  size_type size_ = 0;
+  size_type capacity_ = 0;
+};
+
+}  // namespace dnnd::pmem

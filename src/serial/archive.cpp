@@ -1,0 +1,27 @@
+#include "serial/archive.hpp"
+
+namespace dnnd::serial {
+
+void write_varint(std::vector<std::byte>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::byte>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(value));
+}
+
+std::uint64_t read_varint(const std::byte*& cursor, const std::byte* end) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (cursor != end) {
+    const auto byte = static_cast<std::uint8_t>(*cursor++);
+    if (shift == 63 && byte > 1) throw ArchiveError("varint overflow");
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+    if (shift > 63) throw ArchiveError("varint too long");
+  }
+  throw ArchiveError("varint truncated");
+}
+
+}  // namespace dnnd::serial

@@ -1,0 +1,42 @@
+// Hash utilities used for data partitioning across ranks.
+//
+// DNND distributes points and their neighbor lists by hashing the vertex id
+// (paper §4: "based on the hash values of the vertex IDs"). The partition
+// hash must be stable across processes and independent of
+// std::hash (whose value is unspecified), so we fix a concrete mixer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dnnd::util {
+
+/// Stateless 64-bit mix (Stafford variant 13 of the murmur3 finalizer).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a byte string; used for type names in the pmem directory.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Combines two hashes (boost::hash_combine style, 64-bit constant).
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) noexcept {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Owner rank of a vertex id. All modules must agree on this mapping.
+[[nodiscard]] constexpr int owner_rank(std::uint64_t vertex_id, int num_ranks) noexcept {
+  return static_cast<int>(mix64(vertex_id) % static_cast<std::uint64_t>(num_ranks));
+}
+
+}  // namespace dnnd::util

@@ -1,0 +1,59 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace dnnd::util {
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("DNND_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(level_from_env())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
+
+void set_log_level(LogLevel level) {
+  level_storage().store(static_cast<int>(level));
+}
+
+void log_line(LogLevel level, int rank, const std::string& message) {
+  if (static_cast<int>(level) > level_storage().load()) return;
+  // One mutex-protected fwrite per line keeps lines whole under the
+  // threaded driver without any per-message allocation on the fast path.
+  static std::mutex io_mutex;
+  const std::lock_guard<std::mutex> lock(io_mutex);
+  if (rank >= 0) {
+    std::fprintf(stderr, "[dnnd %s r%d] %s\n", level_name(level), rank,
+                 message.c_str());
+  } else {
+    std::fprintf(stderr, "[dnnd %s] %s\n", level_name(level), message.c_str());
+  }
+}
+
+}  // namespace dnnd::util

@@ -1,0 +1,50 @@
+// Minimal leveled logger.
+//
+// Distributed algorithms produce per-rank diagnostics; the logger prefixes
+// the rank (when set) so interleaved output stays attributable. Output goes
+// to stderr; the level is process-global and settable from DNND_LOG_LEVEL.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dnnd::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Returns the process-wide log level (initialized once from the
+/// DNND_LOG_LEVEL environment variable: error|warn|info|debug).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Writes one formatted line to stderr if `level` is enabled.
+/// `rank` < 0 means "not rank-attributed" (single-process context).
+void log_line(LogLevel level, int rank, const std::string& message);
+
+/// Stream-style single-line logger: LogStream(LogLevel::kInfo, rank) << ...;
+/// flushes on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, int rank = -1) : level_(level), rank_(rank) {}
+  ~LogStream() { log_line(level_, rank_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  int rank_;
+  std::ostringstream stream_;
+};
+
+}  // namespace dnnd::util
+
+#define DNND_LOG_INFO() ::dnnd::util::LogStream(::dnnd::util::LogLevel::kInfo)
+#define DNND_LOG_WARN() ::dnnd::util::LogStream(::dnnd::util::LogLevel::kWarn)
+#define DNND_LOG_ERROR() ::dnnd::util::LogStream(::dnnd::util::LogLevel::kError)
+#define DNND_LOG_DEBUG() ::dnnd::util::LogStream(::dnnd::util::LogLevel::kDebug)

@@ -1,0 +1,135 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Distributed runs must be reproducible regardless of the driver used
+// (cooperative scheduler vs. threads), so every rank derives its own
+// independent stream from a global seed + rank id rather than sharing one
+// generator. We use xoshiro256** (public-domain, Blackman & Vigna) seeded
+// through splitmix64, the combination recommended by its authors.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dnnd::util {
+
+/// splitmix64 step: used for seeding and as a cheap stateless mix function.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator so it
+/// can drive <random> distributions, but the member helpers below avoid the
+/// libstdc++ distribution objects for cross-platform determinism.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds all 256 bits of state from `seed` via splitmix64.
+  explicit constexpr Xoshiro256(std::uint64_t seed = 0x5eedcafef00dULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derives an independent stream, e.g. `Xoshiro256(seed).fork(rank)`.
+  [[nodiscard]] constexpr Xoshiro256 fork(std::uint64_t stream_id) const noexcept {
+    std::uint64_t sm = state_[0] ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1));
+    Xoshiro256 child(splitmix64(sm));
+    return child;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  constexpr std::uint64_t uniform_below(std::uint64_t bound) noexcept {
+    if (bound <= 1) return 0;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed range [lo, hi].
+  constexpr std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_below(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  constexpr double uniform_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [lo, hi).
+  constexpr float uniform_float(float lo, float hi) noexcept {
+    return lo + static_cast<float>(uniform_double()) * (hi - lo);
+  }
+
+  /// Standard normal via Marsaglia polar method (no <cmath> constexpr needs).
+  double normal() noexcept;
+
+  /// Bernoulli trial with success probability p.
+  constexpr bool bernoulli(double p) noexcept { return uniform_double() < p; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// In-place Fisher-Yates shuffle driven by an Xoshiro256 stream.
+template <typename RandomIt>
+void shuffle(RandomIt first, RandomIt last, Xoshiro256& rng) {
+  const auto n = static_cast<std::uint64_t>(last - first);
+  for (std::uint64_t i = n; i > 1; --i) {
+    const auto j = rng.uniform_below(i);
+    using std::swap;
+    swap(first[i - 1], first[j]);
+  }
+}
+
+}  // namespace dnnd::util
+
+#include <cmath>
+
+namespace dnnd::util {
+
+inline double Xoshiro256::normal() noexcept {
+  // Marsaglia polar method; discards the second variate for simplicity.
+  double u, v, s;
+  do {
+    u = 2.0 * uniform_double() - 1.0;
+    v = 2.0 * uniform_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  return u * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+}  // namespace dnnd::util

@@ -1,0 +1,186 @@
+// Tests for build checkpoint/restore through the pmem datastore: state
+// round-trips exactly, restored runners can refine/optimize/mutate, and
+// topology mismatches are rejected.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baselines/brute_force.hpp"
+#include "comm/environment.hpp"
+#include "core/distance.hpp"
+#include "core/dnnd_checkpoint.hpp"
+#include "core/dnnd_runner.hpp"
+#include "core/recall.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using namespace dnnd;  // NOLINT
+
+struct L2Fn {
+  float operator()(std::span<const float> a, std::span<const float> b) const {
+    return core::l2(a, b);
+  }
+};
+
+core::FeatureStore<float> clustered(std::size_t n) {
+  data::MixtureSpec spec;
+  spec.dim = 8;
+  spec.num_clusters = 10;
+  spec.center_range = 5.0f;
+  spec.cluster_std = 1.5f;
+  spec.seed = 81;
+  return data::GaussianMixture(spec).sample(n, 1);
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test: ctest runs fixture cases in parallel processes.
+    const std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    path_ = (std::filesystem::temp_directory_path() /
+             ("dnnd_ckpt_" + name + ".dat"))
+                .string();
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, RoundTripsShardStateExactly) {
+  const auto points = clustered(300);
+  core::DnndConfig cfg;
+  cfg.k = 8;
+
+  core::KnnGraph original;
+  {
+    comm::Environment env(comm::Config{.num_ranks = 4});
+    core::DnndRunner<float, L2Fn> runner(env, cfg, L2Fn{});
+    runner.distribute(points);
+    runner.build();
+    original = runner.gather();
+    auto mgr = pmem::Manager::create(path_, 64 << 20);
+    core::save_checkpoint(mgr, runner, "ckpt");
+  }
+  {
+    comm::Environment env(comm::Config{.num_ranks = 4});
+    core::DnndRunner<float, L2Fn> runner(env, cfg, L2Fn{});
+    auto mgr = pmem::Manager::open(path_);
+    core::load_checkpoint(mgr, runner, "ckpt");
+    EXPECT_EQ(runner.global_count(), 300u);
+    EXPECT_EQ(runner.gather(), original);
+  }
+}
+
+TEST_F(CheckpointTest, RestoredRunnerCanRefineAndMutate) {
+  const auto points = clustered(300);
+  core::DnndConfig cfg;
+  cfg.k = 8;
+  {
+    comm::Environment env(comm::Config{.num_ranks = 2});
+    core::DnndRunner<float, L2Fn> runner(env, cfg, L2Fn{});
+    runner.distribute(points);
+    // Deliberately checkpoint a HALF-finished build: only 2 iterations.
+    core::DnndConfig truncated = cfg;
+    truncated.max_iterations = 2;
+    core::DnndRunner<float, L2Fn> partial(env, truncated, L2Fn{});
+    // (use the truncated runner for the build)
+    partial.distribute(points);
+    partial.build();
+    auto mgr = pmem::Manager::create(path_, 64 << 20);
+    core::save_checkpoint(mgr, partial, "ckpt");
+  }
+  {
+    comm::Environment env(comm::Config{.num_ranks = 2});
+    core::DnndRunner<float, L2Fn> runner(env, cfg, L2Fn{});
+    auto mgr = pmem::Manager::open(path_);
+    core::load_checkpoint(mgr, runner, "ckpt");
+    // Resume the descent to convergence.
+    runner.refine();
+    const auto exact = baselines::brute_force_knn_graph(points, L2Fn{}, 8);
+    EXPECT_GT(core::graph_recall(runner.gather(), exact, 8), 0.9);
+    // And the restored runner supports dynamic updates.
+    core::FeatureStore<float> extra;
+    extra.add(300, points[0]);
+    runner.add_points(extra);
+    runner.refine();
+    EXPECT_FALSE(runner.gather().neighbors(300).empty());
+  }
+}
+
+TEST_F(CheckpointTest, RankCountMismatchRejected) {
+  const auto points = clustered(100);
+  core::DnndConfig cfg;
+  cfg.k = 6;
+  {
+    comm::Environment env(comm::Config{.num_ranks = 2});
+    core::DnndRunner<float, L2Fn> runner(env, cfg, L2Fn{});
+    runner.distribute(points);
+    runner.build();
+    auto mgr = pmem::Manager::create(path_, 32 << 20);
+    core::save_checkpoint(mgr, runner, "ckpt");
+  }
+  comm::Environment env(comm::Config{.num_ranks = 3});
+  core::DnndRunner<float, L2Fn> runner(env, cfg, L2Fn{});
+  auto mgr = pmem::Manager::open(path_);
+  EXPECT_THROW(core::load_checkpoint(mgr, runner, "ckpt"), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, KMismatchRejected) {
+  const auto points = clustered(100);
+  {
+    comm::Environment env(comm::Config{.num_ranks = 2});
+    core::DnndConfig cfg;
+    cfg.k = 6;
+    core::DnndRunner<float, L2Fn> runner(env, cfg, L2Fn{});
+    runner.distribute(points);
+    runner.build();
+    auto mgr = pmem::Manager::create(path_, 32 << 20);
+    core::save_checkpoint(mgr, runner, "ckpt");
+  }
+  comm::Environment env(comm::Config{.num_ranks = 2});
+  core::DnndConfig other;
+  other.k = 12;
+  core::DnndRunner<float, L2Fn> runner(env, other, L2Fn{});
+  auto mgr = pmem::Manager::open(path_);
+  EXPECT_THROW(core::load_checkpoint(mgr, runner, "ckpt"), std::runtime_error);
+}
+
+TEST_F(CheckpointTest, MissingCheckpointRejected) {
+  auto mgr = pmem::Manager::create(path_, 16 << 20);
+  comm::Environment env(comm::Config{.num_ranks = 2});
+  core::DnndConfig cfg;
+  core::DnndRunner<float, L2Fn> runner(env, cfg, L2Fn{});
+  EXPECT_THROW(core::load_checkpoint(mgr, runner, "nope"),
+               std::runtime_error);
+}
+
+TEST_F(CheckpointTest, OverwritingCheckpointKeepsLatestState) {
+  const auto points = clustered(150);
+  core::DnndConfig cfg;
+  cfg.k = 6;
+  comm::Environment env(comm::Config{.num_ranks = 2});
+  core::DnndRunner<float, L2Fn> runner(env, cfg, L2Fn{});
+  runner.distribute(points);
+  runner.build();
+  auto mgr = pmem::Manager::create(path_, 64 << 20);
+  core::save_checkpoint(mgr, runner, "ckpt");
+
+  // Mutate and re-checkpoint under the same name.
+  core::FeatureStore<float> extra;
+  extra.add(150, points[3]);
+  runner.add_points(extra);
+  runner.refine();
+  core::save_checkpoint(mgr, runner, "ckpt");
+  const auto latest = runner.gather();
+
+  comm::Environment env2(comm::Config{.num_ranks = 2});
+  core::DnndRunner<float, L2Fn> restored(env2, cfg, L2Fn{});
+  core::load_checkpoint(mgr, restored, "ckpt");
+  EXPECT_EQ(restored.global_count(), 151u);
+  EXPECT_EQ(restored.gather(), latest);
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Tests for message-based collectives (allreduce-sum, allgather) under
+// both drivers, including epoch handling across repeated operations.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "comm/collectives.hpp"
+#include "comm/environment.hpp"
+
+namespace {
+
+using dnnd::comm::Collectives;
+using dnnd::comm::Config;
+using dnnd::comm::DriverKind;
+using dnnd::comm::Environment;
+
+class CollectivesDrivers : public ::testing::TestWithParam<DriverKind> {
+ protected:
+  void make(int ranks) {
+    env_ = std::make_unique<Environment>(
+        Config{.num_ranks = ranks, .driver = GetParam()});
+    for (int r = 0; r < ranks; ++r) {
+      coll_.push_back(std::make_unique<Collectives>(env_->comm(r)));
+    }
+  }
+  std::unique_ptr<Environment> env_;
+  std::vector<std::unique_ptr<Collectives>> coll_;
+};
+
+TEST_P(CollectivesDrivers, SumIsGlobalAndIdenticalOnAllRanks) {
+  make(4);
+  env_->execute_phase([&](int r) {
+    coll_[static_cast<std::size_t>(r)]->contribute_sum(
+        static_cast<std::uint64_t>(10 * (r + 1)));
+  });
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(coll_[static_cast<std::size_t>(r)]->sum(), 100u);
+  }
+}
+
+TEST_P(CollectivesDrivers, GatherIndexesByRank) {
+  make(3);
+  env_->execute_phase([&](int r) {
+    coll_[static_cast<std::size_t>(r)]->contribute_gather(
+        static_cast<std::uint64_t>(r * r + 1));
+  });
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(coll_[static_cast<std::size_t>(r)]->gathered(),
+              (std::vector<std::uint64_t>{1, 2, 5}));
+  }
+}
+
+TEST_P(CollectivesDrivers, RepeatedCollectivesUseFreshEpochs) {
+  make(2);
+  for (std::uint64_t round = 1; round <= 5; ++round) {
+    env_->execute_phase([&](int r) {
+      coll_[static_cast<std::size_t>(r)]->contribute_sum(round + r);
+    });
+    EXPECT_EQ(coll_[0]->sum(), 2 * round + 1);
+  }
+}
+
+TEST_P(CollectivesDrivers, SumAndGatherInterleave) {
+  make(2);
+  env_->execute_phase([&](int r) {
+    auto& c = *coll_[static_cast<std::size_t>(r)];
+    c.contribute_sum(static_cast<std::uint64_t>(r + 1));
+    c.contribute_gather(static_cast<std::uint64_t>(r + 7));
+  });
+  EXPECT_EQ(coll_[1]->sum(), 3u);
+  EXPECT_EQ(coll_[0]->gathered(), (std::vector<std::uint64_t>{7, 8}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Drivers, CollectivesDrivers,
+                         ::testing::Values(DriverKind::kSequential,
+                                           DriverKind::kThreaded),
+                         [](const auto& info) {
+                           return info.param == DriverKind::kSequential
+                                      ? "Sequential"
+                                      : "Threaded";
+                         });
+
+TEST(Collectives, IncompleteCollectiveThrows) {
+  Environment env(Config{.num_ranks = 2});
+  Collectives a(env.comm(0));
+  Collectives b(env.comm(1));
+  // No operation yet: reading is a logic error.
+  EXPECT_THROW((void)a.sum(), std::logic_error);
+  // Only one rank contributed (no barrier run): still incomplete.
+  a.contribute_sum(1);
+  EXPECT_THROW((void)a.sum(), std::logic_error);
+}
+
+TEST(Collectives, SingleRankDegenerateCase) {
+  Environment env(Config{.num_ranks = 1});
+  Collectives c(env.comm(0));
+  env.execute_phase([&](int) { c.contribute_sum(42); });
+  EXPECT_EQ(c.sum(), 42u);
+  env.execute_phase([&](int) { c.contribute_gather(9); });
+  EXPECT_EQ(c.gathered(), (std::vector<std::uint64_t>{9}));
+}
+
+TEST(Collectives, GarbageCollectKeepsCurrentEpoch) {
+  Environment env(Config{.num_ranks = 2});
+  Collectives a(env.comm(0));
+  Collectives b(env.comm(1));
+  for (int round = 0; round < 3; ++round) {
+    env.execute_phase([&](int r) {
+      (r == 0 ? a : b).contribute_sum(static_cast<std::uint64_t>(round));
+    });
+  }
+  a.garbage_collect();
+  EXPECT_EQ(a.sum(), 4u);  // last round: 2 + 2
+}
+
+}  // namespace

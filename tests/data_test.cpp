@@ -1,0 +1,293 @@
+// Tests for synthetic generators, the Table-1 dataset registry, and the
+// dataset file formats (fvecs/bvecs/ivecs, fbin/u8bin).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "core/distance.hpp"
+#include "data/datasets.hpp"
+#include "data/io.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using namespace dnnd;  // NOLINT
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name) : path_(temp_path(name)) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// -- generators -----------------------------------------------------------------
+
+TEST(Synthetic, MixtureShapeAndDeterminism) {
+  data::MixtureSpec spec;
+  spec.dim = 12;
+  spec.seed = 5;
+  const data::GaussianMixture family(spec);
+  const auto a = family.sample(100, 1);
+  const auto b = family.sample(100, 1);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a.dim(), 12u);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto ra = a.row(i), rb = b.row(i);
+    for (std::size_t d = 0; d < 12; ++d) EXPECT_EQ(ra[d], rb[d]);
+  }
+  // A different draw seed gives different points.
+  const auto c = family.sample(100, 2);
+  EXPECT_NE(a.row(0)[0], c.row(0)[0]);
+}
+
+TEST(Synthetic, MixtureIsActuallyClustered) {
+  // Mean distance to same-draw points should be far below the distance
+  // between random center pairs — i.e., local structure exists.
+  data::MixtureSpec spec;
+  spec.dim = 8;
+  spec.num_clusters = 5;
+  spec.cluster_std = 0.5f;
+  spec.center_range = 20.0f;
+  const data::GaussianMixture family(spec);
+  const auto points = family.sample(200, 1);
+  // Nearest-neighbor distance should be ~cluster scale, not center scale.
+  double nearest_sum = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    float best = std::numeric_limits<float>::infinity();
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (i == j) continue;
+      best = std::min(best, core::l2(points.row(i), points.row(j)));
+    }
+    nearest_sum += best;
+  }
+  EXPECT_LT(nearest_sum / 50.0, 4.0 * spec.cluster_std * std::sqrt(8.0));
+}
+
+TEST(Synthetic, U8QuantizationPreservesNeighborhoods) {
+  data::MixtureSpec spec;
+  spec.dim = 8;
+  spec.seed = 9;
+  const data::GaussianMixture family(spec);
+  const auto f = family.sample(50, 1);
+  const auto u = family.sample_u8(50, 1);
+  ASSERT_EQ(u.size(), 50u);
+  // The nearest float neighbor of point 0 should be among the closest few
+  // u8 neighbors (quantization is order-preserving up to rounding).
+  auto nearest = [&](const auto& store, auto dist) {
+    std::size_t best_j = 1;
+    float best = std::numeric_limits<float>::infinity();
+    for (std::size_t j = 1; j < store.size(); ++j) {
+      const float d = dist(store.row(0), store.row(j));
+      if (d < best) {
+        best = d;
+        best_j = j;
+      }
+    }
+    return best_j;
+  };
+  const auto nf = nearest(f, [](auto a, auto b) { return core::l2(a, b); });
+  const auto nu = nearest(u, [](auto a, auto b) { return core::l2(a, b); });
+  EXPECT_EQ(nf, nu);
+}
+
+TEST(Synthetic, UniformCoversRange) {
+  const auto points = data::make_uniform(500, 4, -2.0f, 3.0f, 77);
+  float lo = 1e9f, hi = -1e9f;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    for (const float v : points.row(i)) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  EXPECT_GE(lo, -2.0f);
+  EXPECT_LT(hi, 3.0f);
+  EXPECT_LT(lo, -1.5f);  // actually spans the range
+  EXPECT_GT(hi, 2.5f);
+}
+
+TEST(Synthetic, SparseSetsAreSortedDistinctAndBounded) {
+  data::SparseSetSpec spec;
+  const data::SparseSetFamily family(spec);
+  const auto points = family.sample(100, 1);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto row = points.row(i);
+    EXPECT_GE(row.size(), spec.min_size);
+    EXPECT_LE(row.size(), spec.max_size);
+    for (std::size_t j = 1; j < row.size(); ++j) {
+      EXPECT_LT(row[j - 1], row[j]);  // sorted + distinct
+    }
+    for (const auto item : row) EXPECT_LT(item, spec.universe);
+  }
+}
+
+TEST(Synthetic, SparseTopicsCreateJaccardStructure) {
+  data::SparseSetSpec spec;
+  spec.num_topics = 4;  // few topics: same-topic pairs are common
+  const data::SparseSetFamily family(spec);
+  const auto points = family.sample(60, 1);
+  // Some pair should be much closer than 1.0 (topic overlap).
+  float best = 1.0f;
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = i + 1; j < 20; ++j) {
+      best = std::min(best, core::jaccard_sorted(points.row(i), points.row(j)));
+    }
+  }
+  EXPECT_LT(best, 0.6f);
+}
+
+// -- registry ---------------------------------------------------------------------
+
+TEST(Datasets, Table1HasAllEightRows) {
+  const auto& specs = data::table1();
+  ASSERT_EQ(specs.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& s : specs) names.insert(s.name);
+  EXPECT_TRUE(names.contains("kosarak"));
+  EXPECT_TRUE(names.contains("deep1b"));
+  EXPECT_TRUE(names.contains("bigann"));
+}
+
+TEST(Datasets, SpecsMatchPaperTable1) {
+  const auto& deep = data::dataset_by_name("deep1b");
+  EXPECT_EQ(deep.dim, 96u);
+  EXPECT_EQ(deep.paper_entries, 1'000'000'000u);
+  EXPECT_EQ(deep.metric, core::Metric::kL2);
+  EXPECT_TRUE(deep.billion_scale);
+
+  const auto& bigann = data::dataset_by_name("bigann");
+  EXPECT_EQ(bigann.dim, 128u);
+  EXPECT_EQ(bigann.element, data::ElementKind::kUint8);
+
+  const auto& kosarak = data::dataset_by_name("kosarak");
+  EXPECT_EQ(kosarak.metric, core::Metric::kJaccard);
+  EXPECT_EQ(kosarak.element, data::ElementKind::kSparseIds);
+
+  const auto& glove = data::dataset_by_name("glove-25");
+  EXPECT_EQ(glove.dim, 25u);
+  EXPECT_EQ(glove.metric, core::Metric::kCosine);
+}
+
+TEST(Datasets, UnknownNameThrows) {
+  EXPECT_THROW(data::dataset_by_name("sift1b"), std::invalid_argument);
+}
+
+TEST(Datasets, FactoriesRespectScaleAndKind) {
+  const auto& spec = data::dataset_by_name("glove-25");
+  const auto ds = data::make_dense_float(spec, 0.1, 20);
+  EXPECT_EQ(ds.base.size(), spec.scaled_entries / 10);
+  EXPECT_EQ(ds.base.dim(), 25u);
+  EXPECT_EQ(ds.queries.size(), 20u);
+
+  EXPECT_THROW(data::make_dense_float(data::dataset_by_name("bigann"), 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(data::make_sparse(spec, 1, 1), std::invalid_argument);
+
+  const auto u8 = data::make_dense_u8(data::dataset_by_name("bigann"), 0.05, 5);
+  EXPECT_EQ(u8.base.dim(), 128u);
+
+  const auto sparse =
+      data::make_sparse(data::dataset_by_name("kosarak"), 0.1, 5);
+  EXPECT_EQ(sparse.base.size(), 300u);
+}
+
+// -- file formats -------------------------------------------------------------------
+
+TEST(Io, FvecsRoundTrip) {
+  TempFile file("dnnd_io.fvecs");
+  data::MixtureSpec spec;
+  spec.dim = 7;
+  const auto points = data::GaussianMixture(spec).sample(40, 1);
+  data::write_fvecs(file.path(), points);
+  const auto loaded = data::read_fvecs(file.path());
+  ASSERT_EQ(loaded.size(), points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto a = points.row(i), b = loaded.row(i);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t d = 0; d < a.size(); ++d) EXPECT_EQ(a[d], b[d]);
+  }
+}
+
+TEST(Io, BvecsRoundTrip) {
+  TempFile file("dnnd_io.bvecs");
+  data::MixtureSpec spec;
+  spec.dim = 16;
+  const auto points = data::GaussianMixture(spec).sample_u8(25, 1);
+  data::write_bvecs(file.path(), points);
+  const auto loaded = data::read_bvecs(file.path());
+  ASSERT_EQ(loaded.size(), 25u);
+  for (std::size_t i = 0; i < 25; ++i) {
+    const auto a = points.row(i), b = loaded.row(i);
+    for (std::size_t d = 0; d < a.size(); ++d) EXPECT_EQ(a[d], b[d]);
+  }
+}
+
+TEST(Io, IvecsRoundTripWithVariableRows) {
+  TempFile file("dnnd_io.ivecs");
+  const std::vector<std::vector<core::VertexId>> rows = {
+      {1, 2, 3}, {}, {42}, {7, 7, 7, 7}};
+  data::write_ivecs(file.path(), rows);
+  EXPECT_EQ(data::read_ivecs(file.path()), rows);
+}
+
+TEST(Io, FbinRoundTrip) {
+  TempFile file("dnnd_io.fbin");
+  data::MixtureSpec spec;
+  spec.dim = 5;
+  const auto points = data::GaussianMixture(spec).sample(30, 3);
+  data::write_fbin(file.path(), points);
+  const auto loaded = data::read_fbin(file.path());
+  ASSERT_EQ(loaded.size(), 30u);
+  ASSERT_EQ(loaded.dim(), 5u);
+  for (std::size_t i = 0; i < 30; ++i) {
+    for (std::size_t d = 0; d < 5; ++d) {
+      EXPECT_EQ(points.row(i)[d], loaded.row(i)[d]);
+    }
+  }
+}
+
+TEST(Io, U8binRoundTrip) {
+  TempFile file("dnnd_io.u8bin");
+  data::MixtureSpec spec;
+  spec.dim = 9;
+  const auto points = data::GaussianMixture(spec).sample_u8(12, 1);
+  data::write_u8bin(file.path(), points);
+  const auto loaded = data::read_u8bin(file.path());
+  ASSERT_EQ(loaded.size(), 12u);
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t d = 0; d < 9; ++d) {
+      EXPECT_EQ(points.row(i)[d], loaded.row(i)[d]);
+    }
+  }
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(data::read_fvecs(temp_path("missing.fvecs")),
+               std::runtime_error);
+  EXPECT_THROW(data::read_fbin(temp_path("missing.fbin")), std::runtime_error);
+}
+
+TEST(Io, TruncatedFbinThrows) {
+  TempFile file("dnnd_io_trunc.fbin");
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    const std::uint32_t n = 100, dim = 100;
+    out.write(reinterpret_cast<const char*>(&n), 4);
+    out.write(reinterpret_cast<const char*>(&dim), 4);
+    // promises 100*100 floats, writes none
+  }
+  EXPECT_THROW(data::read_fbin(file.path()), std::runtime_error);
+}
+
+}  // namespace

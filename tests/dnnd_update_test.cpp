@@ -1,0 +1,354 @@
+// Tests for dynamic graph updates (paper §7 future work: points are added
+// or deleted, followed by a short NN-Descent refinement phase) and for the
+// RP-forest query entry selection.
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.hpp"
+#include "comm/environment.hpp"
+#include "core/distance.hpp"
+#include "core/dnnd_runner.hpp"
+#include "core/knn_query.hpp"
+#include "core/recall.hpp"
+#include "core/rp_tree.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using namespace dnnd;  // NOLINT
+
+struct L2Fn {
+  float operator()(std::span<const float> a, std::span<const float> b) const {
+    return core::l2(a, b);
+  }
+};
+
+data::GaussianMixture family() {
+  data::MixtureSpec spec;
+  spec.dim = 8;
+  spec.num_clusters = 10;
+  spec.center_range = 5.0f;
+  spec.cluster_std = 1.5f;
+  spec.seed = 61;
+  return data::GaussianMixture(spec);
+}
+
+core::DnndConfig config() {
+  core::DnndConfig cfg;
+  cfg.k = 8;
+  return cfg;
+}
+
+// -- FeatureStore::remove_batch ------------------------------------------------
+
+TEST(FeatureStoreRemove, CompactsAndPreservesSurvivors) {
+  core::FeatureStore<float> store(5, 2, {0, 0, 1, 1, 2, 2, 3, 3, 4, 4});
+  const std::vector<core::VertexId> removed = {1, 3};
+  store.remove_batch(removed);
+  EXPECT_EQ(store.size(), 3u);
+  EXPECT_FALSE(store.contains(1));
+  EXPECT_FALSE(store.contains(3));
+  EXPECT_EQ(store[0][0], 0.0f);
+  EXPECT_EQ(store[2][1], 2.0f);
+  EXPECT_EQ(store[4][0], 4.0f);
+}
+
+TEST(FeatureStoreRemove, IgnoresUnknownIdsAndEmptyBatches) {
+  core::FeatureStore<float> store(2, 1, {7, 8});
+  store.remove_batch(std::vector<core::VertexId>{});
+  EXPECT_EQ(store.size(), 2u);
+  store.remove_batch(std::vector<core::VertexId>{99});
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store[1][0], 8.0f);
+}
+
+// -- dynamic inserts --------------------------------------------------------------
+
+TEST(DnndUpdate, InsertedPointsReachBuildQualityAfterRefine) {
+  const auto fam = family();
+  const auto initial = fam.sample(400, 1);
+  // The eventual full dataset: initial points plus 100 more from the same
+  // distribution, with ids continuing after the initial range.
+  const auto extra_raw = fam.sample(100, 3);
+  core::FeatureStore<float> extra;
+  for (std::size_t i = 0; i < extra_raw.size(); ++i) {
+    extra.add(static_cast<core::VertexId>(400 + i), extra_raw.row(i));
+  }
+  core::FeatureStore<float> full;
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    full.add(initial.id_at(i), initial.row(i));
+  }
+  for (std::size_t i = 0; i < extra.size(); ++i) {
+    full.add(extra.id_at(i), extra.row(i));
+  }
+
+  comm::Environment env(comm::Config{.num_ranks = 4});
+  core::DnndRunner<float, L2Fn> runner(env, config(), L2Fn{});
+  runner.distribute(initial);
+  runner.build();
+
+  runner.add_points(extra);
+  const auto stats = runner.refine();
+  EXPECT_GE(stats.iterations, 1u);
+
+  const auto graph = runner.gather();
+  ASSERT_EQ(graph.num_vertices(), 500u);
+  const auto exact = baselines::brute_force_knn_graph(full, L2Fn{}, 8);
+  EXPECT_GT(core::graph_recall(graph, exact, 8), 0.85);
+  // New vertices specifically must have good rows, not just the average.
+  double new_recall = 0;
+  for (core::VertexId v = 400; v < 500; ++v) {
+    const auto got = graph.neighbors(v);
+    const auto want = exact.neighbors(v);
+    std::size_t hits = 0;
+    for (const auto& g : got) {
+      for (const auto& w : want) {
+        if (g.id == w.id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    new_recall += static_cast<double>(hits) / 8.0;
+  }
+  EXPECT_GT(new_recall / 100.0, 0.8) << "inserted vertices under-connected";
+}
+
+TEST(DnndUpdate, RefineIsCheaperThanRebuild) {
+  const auto fam = family();
+  const auto initial = fam.sample(600, 1);
+  const auto extra_raw = fam.sample(30, 3);
+  core::FeatureStore<float> extra;
+  for (std::size_t i = 0; i < extra_raw.size(); ++i) {
+    extra.add(static_cast<core::VertexId>(600 + i), extra_raw.row(i));
+  }
+
+  comm::Environment env(comm::Config{.num_ranks = 4});
+  core::DnndRunner<float, L2Fn> runner(env, config(), L2Fn{});
+  runner.distribute(initial);
+  const auto build_stats = runner.build();
+
+  runner.add_points(extra);
+  const auto refine_stats = runner.refine();
+  // A 5% insert should cost a small fraction of the original build: the
+  // convergence counter only pays for new-flagged entries.
+  EXPECT_LT(refine_stats.total_updates, build_stats.total_updates / 2);
+}
+
+// -- dynamic deletes --------------------------------------------------------------
+
+TEST(DnndUpdate, DeletedVerticesDisappearEverywhere) {
+  const auto initial = family().sample(300, 1);
+  comm::Environment env(comm::Config{.num_ranks = 4});
+  core::DnndRunner<float, L2Fn> runner(env, config(), L2Fn{});
+  runner.distribute(initial);
+  runner.build();
+
+  const std::vector<core::VertexId> removed = {5, 17, 100, 299};
+  runner.remove_points(removed);
+  runner.refine();
+  const auto graph = runner.gather();
+
+  for (const auto victim : removed) {
+    EXPECT_TRUE(graph.neighbors(victim).empty());
+  }
+  for (core::VertexId v = 0; v < 300; ++v) {
+    for (const auto& n : graph.neighbors(v)) {
+      for (const auto victim : removed) {
+        EXPECT_NE(n.id, victim) << "dangling edge " << v << "->" << victim;
+      }
+    }
+  }
+}
+
+TEST(DnndUpdate, QualityHoldsAfterDeleteAndRefine) {
+  const auto initial = family().sample(400, 1);
+  comm::Environment env(comm::Config{.num_ranks = 4});
+  core::DnndRunner<float, L2Fn> runner(env, config(), L2Fn{});
+  runner.distribute(initial);
+  runner.build();
+
+  // Remove every 8th point.
+  std::vector<core::VertexId> removed;
+  for (core::VertexId v = 0; v < 400; v += 8) removed.push_back(v);
+  runner.remove_points(removed);
+  runner.refine();
+
+  // Ground truth over survivors only (ids stay global).
+  core::FeatureStore<float> survivors;
+  for (core::VertexId v = 0; v < 400; ++v) {
+    if (v % 8 != 0) survivors.add(v, initial[v]);
+  }
+  const auto graph = runner.gather();
+  // Per-vertex recall over survivors.
+  double sum = 0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    const auto v = survivors.id_at(i);
+    const auto want =
+        baselines::brute_force_query(survivors, survivors[v], L2Fn{}, 9);
+    // want[0] == v itself.
+    const auto got = graph.neighbors(v);
+    std::size_t hits = 0;
+    for (const auto& g : got) {
+      for (std::size_t j = 1; j < want.size(); ++j) {
+        if (g.id == want[j]) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    sum += static_cast<double>(hits) / 8.0;
+    ++counted;
+  }
+  EXPECT_GT(sum / static_cast<double>(counted), 0.8);
+}
+
+TEST(DnndUpdate, InsertThenDeleteRoundTrip) {
+  const auto fam = family();
+  const auto initial = fam.sample(300, 1);
+  const auto extra_raw = fam.sample(50, 3);
+  core::FeatureStore<float> extra;
+  std::vector<core::VertexId> extra_ids;
+  for (std::size_t i = 0; i < extra_raw.size(); ++i) {
+    const auto id = static_cast<core::VertexId>(300 + i);
+    extra.add(id, extra_raw.row(i));
+    extra_ids.push_back(id);
+  }
+  comm::Environment env(comm::Config{.num_ranks = 4});
+  core::DnndRunner<float, L2Fn> runner(env, config(), L2Fn{});
+  runner.distribute(initial);
+  runner.build();
+  runner.add_points(extra);
+  runner.refine();
+  runner.remove_points(extra_ids);
+  runner.refine();
+
+  const auto graph = runner.gather();
+  const auto exact = baselines::brute_force_knn_graph(initial, L2Fn{}, 8);
+  // Compare only original vertices (removed ids have empty rows).
+  double sum = 0;
+  for (core::VertexId v = 0; v < 300; ++v) {
+    const auto got = graph.neighbors(v);
+    const auto want = exact.neighbors(v);
+    std::size_t hits = 0;
+    for (const auto& g : got) {
+      EXPECT_LT(g.id, 300u) << "edge to deleted vertex survived";
+      for (const auto& w : want) {
+        if (g.id == w.id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    sum += static_cast<double>(hits) / 8.0;
+  }
+  EXPECT_GT(sum / 300.0, 0.8);
+}
+
+// -- RP-forest entry selection ------------------------------------------------------
+
+TEST(RpForest, CandidatesComeFromTheQueryNeighborhood) {
+  const auto points = family().sample(500, 1);
+  core::RpTreeParams params;
+  params.leaf_size = 25;
+  params.num_trees = 2;
+  const core::RpForest<float> forest(points, params);
+
+  // Candidates for a base point should usually contain points much closer
+  // than random draws would be.
+  util::Xoshiro256 rng(9);
+  double candidate_best = 0, random_best = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto q = static_cast<core::VertexId>(rng.uniform_below(500));
+    const auto candidates = forest.entry_candidates(points[q]);
+    ASSERT_FALSE(candidates.empty());
+    float best_c = 1e9f, best_r = 1e9f;
+    for (const auto v : candidates) {
+      if (v != q) best_c = std::min(best_c, core::l2(points[q], points[v]));
+    }
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const auto v = static_cast<core::VertexId>(rng.uniform_below(500));
+      if (v != q) best_r = std::min(best_r, core::l2(points[q], points[v]));
+    }
+    candidate_best += best_c;
+    random_best += best_r;
+  }
+  EXPECT_LT(candidate_best, random_best);
+}
+
+TEST(RpForest, LeavesRespectSizeBound) {
+  const auto points = family().sample(400, 1);
+  core::RpTreeParams params;
+  params.leaf_size = 20;
+  params.num_trees = 3;
+  const core::RpForest<float> forest(points, params);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto candidates =
+        forest.entry_candidates(points[static_cast<core::VertexId>(trial)]);
+    // Union over 3 trees, each leaf <= 20 (degenerate splits can pad a
+    // little via the balanced-cut fallback).
+    EXPECT_LE(candidates.size(), 3u * 20u + 10u);
+    EXPECT_FALSE(candidates.empty());
+  }
+}
+
+TEST(RpForest, ImprovesSearchOnSeparatedClusters) {
+  // Widely separated clusters: random entries frequently miss the query's
+  // cluster; RP-tree routing should not.
+  data::MixtureSpec spec;
+  spec.dim = 16;
+  spec.num_clusters = 20;
+  spec.center_range = 20.0f;
+  spec.cluster_std = 0.5f;
+  spec.seed = 62;
+  const data::GaussianMixture fam(spec);
+  const auto base = fam.sample(800, 1);
+  const auto queries = fam.sample(40, 2);
+  const auto truth =
+      baselines::brute_force_query_batch(base, queries, L2Fn{}, 10);
+
+  comm::Environment env(comm::Config{.num_ranks = 4});
+  core::DnndConfig cfg;
+  cfg.k = 10;
+  core::DnndRunner<float, L2Fn> runner(env, cfg, L2Fn{});
+  runner.distribute(base);
+  runner.build();
+  runner.optimize();
+  const auto graph = runner.gather();
+
+  core::GraphSearcher searcher(graph, base, L2Fn{});
+  core::SearchParams params;
+  params.num_neighbors = 10;
+  params.epsilon = 0.2;
+
+  auto run_queries = [&]() {
+    std::vector<std::vector<core::Neighbor>> computed;
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      computed.push_back(searcher.search(queries.row(qi), params).neighbors);
+    }
+    return core::mean_query_recall(computed, truth, 10);
+  };
+
+  const double without = run_queries();
+  const core::RpForest<float> forest(base, core::RpTreeParams{});
+  searcher.set_entry_forest(&forest);
+  const double with = run_queries();
+  EXPECT_GT(with, without + 0.1)
+      << "RP-forest should rescue disconnected-cluster queries";
+  EXPECT_GT(with, 0.9);
+}
+
+TEST(RpForest, HandlesTinyAndEmptyStores) {
+  core::FeatureStore<float> empty;
+  const core::RpForest<float> forest0(empty, core::RpTreeParams{});
+  EXPECT_FALSE(forest0.empty());  // trees exist, leaves are empty
+  EXPECT_TRUE(forest0.entry_candidates(std::vector<float>{1.f}).empty());
+
+  core::FeatureStore<float> one(1, 2, {1.f, 2.f});
+  const core::RpForest<float> forest1(one, core::RpTreeParams{});
+  const auto c = forest1.entry_candidates(std::vector<float>{0.f, 0.f});
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], 0u);
+}
+
+}  // namespace

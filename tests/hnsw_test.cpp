@@ -1,0 +1,200 @@
+// Tests for the from-scratch HNSW baseline: structural invariants, recall
+// against brute force, and the ef / ef_construction quality knobs the
+// paper's Table 2 sweeps.
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.hpp"
+#include "baselines/hnsw.hpp"
+#include "core/distance.hpp"
+#include "core/recall.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using namespace dnnd;  // NOLINT
+using baselines::HnswIndex;
+using baselines::HnswParams;
+
+struct L2Fn {
+  float operator()(std::span<const float> a, std::span<const float> b) const {
+    return core::l2(a, b);
+  }
+};
+
+core::FeatureStore<float> clustered(std::size_t n, std::uint64_t seed = 41) {
+  data::MixtureSpec spec;
+  spec.dim = 8;
+  spec.num_clusters = 10;
+  spec.center_range = 5.0f;
+  spec.cluster_std = 1.5f;
+  spec.seed = seed;
+  return data::GaussianMixture(spec).sample(n, 1);
+}
+
+TEST(Hnsw, RejectsDegenerateM) {
+  const auto points = clustered(10);
+  EXPECT_THROW(
+      (HnswIndex<float, L2Fn>(points, L2Fn{}, HnswParams{.M = 1})),
+      std::invalid_argument);
+}
+
+TEST(Hnsw, StructuralInvariantsHold) {
+  const auto points = clustered(400);
+  HnswIndex<float, L2Fn> index(points, L2Fn{}, HnswParams{.M = 8});
+  index.build();
+  ASSERT_EQ(index.size(), 400u);
+  EXPECT_GE(index.max_level(), 0);
+  for (core::VertexId v = 0; v < 400; ++v) {
+    const auto layer0 = index.neighbors(v, 0);
+    EXPECT_LE(layer0.size(), 16u);  // Mmax0 = 2M
+    for (std::size_t i = 0; i < layer0.size(); ++i) {
+      EXPECT_NE(layer0[i], v) << "self-link";
+      EXPECT_LT(layer0[i], 400u);
+      for (std::size_t j = i + 1; j < layer0.size(); ++j) {
+        EXPECT_NE(layer0[i], layer0[j]) << "duplicate link";
+      }
+    }
+  }
+}
+
+TEST(Hnsw, ExactOnTinyDataset) {
+  const auto points = clustered(30);
+  HnswIndex<float, L2Fn> index(points, L2Fn{}, HnswParams{});
+  index.build();
+  // ef = n degenerates to exhaustive search: results must be exact.
+  for (core::VertexId q = 0; q < 30; ++q) {
+    const auto got = index.search(points[q], 5, 30);
+    const auto want = baselines::brute_force_query(points, points[q], L2Fn{}, 5);
+    ASSERT_EQ(got.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(got[i].id, want[i]);
+  }
+}
+
+TEST(Hnsw, HighRecallAtGenerousEf) {
+  const auto points = clustered(800);
+  const auto queries = clustered(50, 42);
+  const auto truth =
+      baselines::brute_force_query_batch(points, queries, L2Fn{}, 10);
+  HnswIndex<float, L2Fn> index(points, L2Fn{},
+                               HnswParams{.M = 12, .ef_construction = 120});
+  index.build();
+  std::vector<std::vector<core::Neighbor>> computed;
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    computed.push_back(index.search(queries.row(qi), 10, 200));
+  }
+  EXPECT_GT(core::mean_query_recall(computed, truth, 10), 0.95);
+}
+
+TEST(Hnsw, EfTradesWorkForRecall) {
+  const auto points = clustered(800);
+  const auto queries = clustered(40, 43);
+  const auto truth =
+      baselines::brute_force_query_batch(points, queries, L2Fn{}, 10);
+  HnswIndex<float, L2Fn> index(points, L2Fn{}, HnswParams{.M = 8});
+  index.build();
+
+  double prev_recall = -1.0;
+  std::uint64_t prev_evals = 0;
+  for (const std::size_t ef : {10UL, 40UL, 160UL}) {
+    std::vector<std::vector<core::Neighbor>> computed;
+    std::uint64_t evals = 0;
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      computed.push_back(index.search(queries.row(qi), 10, ef, &evals));
+    }
+    const double recall = core::mean_query_recall(computed, truth, 10);
+    EXPECT_GE(recall + 0.02, prev_recall) << "ef=" << ef;
+    EXPECT_GT(evals, prev_evals) << "ef=" << ef;
+    prev_recall = recall;
+    prev_evals = evals;
+  }
+  EXPECT_GT(prev_recall, 0.9);
+}
+
+TEST(Hnsw, LargerEfcBuildsBetterGraphsForMoreWork) {
+  // The Table-2 phenomenon: Hnsw A (efc=50) is cheap but weaker, Hnsw B
+  // (efc=200) costs more and answers better at the same query ef.
+  const auto points = clustered(700);
+  const auto queries = clustered(40, 44);
+  const auto truth =
+      baselines::brute_force_query_batch(points, queries, L2Fn{}, 10);
+
+  auto run = [&](std::size_t efc) {
+    HnswIndex<float, L2Fn> index(points, L2Fn{},
+                                 HnswParams{.M = 6, .ef_construction = efc});
+    index.build();
+    std::vector<std::vector<core::Neighbor>> computed;
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      computed.push_back(index.search(queries.row(qi), 10, 20));
+    }
+    return std::pair{core::mean_query_recall(computed, truth, 10),
+                     index.stats().build_distance_evals};
+  };
+  const auto [recall_small, work_small] = run(8);
+  const auto [recall_large, work_large] = run(200);
+  EXPECT_GT(work_large, work_small * 2);
+  EXPECT_GT(recall_large + 0.02, recall_small);
+}
+
+TEST(Hnsw, SearchResultsSortedAndDistinct) {
+  const auto points = clustered(300);
+  HnswIndex<float, L2Fn> index(points, L2Fn{}, HnswParams{});
+  index.build();
+  const auto queries = clustered(10, 45);
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    const auto result = index.search(queries.row(qi), 8, 50);
+    ASSERT_EQ(result.size(), 8u);
+    for (std::size_t i = 1; i < result.size(); ++i) {
+      EXPECT_GE(result[i].distance, result[i - 1].distance);
+      for (std::size_t j = 0; j < i; ++j) {
+        EXPECT_NE(result[i].id, result[j].id);
+      }
+    }
+  }
+}
+
+TEST(Hnsw, EmptyAndSingletonIndexes) {
+  core::FeatureStore<float> empty;
+  HnswIndex<float, L2Fn> none(empty, L2Fn{}, HnswParams{});
+  none.build();
+  EXPECT_TRUE(none.search(std::vector<float>{1.f}, 3, 10).empty());
+
+  core::FeatureStore<float> one(1, 2, {0.5f, 0.5f});
+  HnswIndex<float, L2Fn> single(one, L2Fn{}, HnswParams{});
+  single.build();
+  const auto result = single.search(std::vector<float>{0.f, 0.f}, 3, 10);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].id, 0u);
+}
+
+TEST(Hnsw, DeterministicForFixedSeed) {
+  const auto points = clustered(200);
+  auto build_and_query = [&]() {
+    HnswIndex<float, L2Fn> index(points, L2Fn{}, HnswParams{.seed = 9});
+    index.build();
+    return index.search(points[3], 5, 40);
+  };
+  const auto a = build_and_query();
+  const auto b = build_and_query();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+}
+
+TEST(Hnsw, WorksWithUint8Features) {
+  data::MixtureSpec spec;
+  spec.dim = 16;
+  spec.seed = 46;
+  const auto points = data::GaussianMixture(spec).sample_u8(300, 1);
+  struct L2U8 {
+    float operator()(std::span<const std::uint8_t> a,
+                     std::span<const std::uint8_t> b) const {
+      return core::l2(a, b);
+    }
+  };
+  HnswIndex<std::uint8_t, L2U8> index(points, L2U8{}, HnswParams{});
+  index.build();
+  const auto result = index.search(points[5], 5, 60);
+  ASSERT_EQ(result.size(), 5u);
+  EXPECT_EQ(result[0].id, 5u);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Unit tests for the simulated transport (mpi::World) and the threaded
+// phase driver's termination detection.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <vector>
+
+#include "mpi/threaded_driver.hpp"
+#include "mpi/world.hpp"
+
+namespace {
+
+using dnnd::mpi::Datagram;
+using dnnd::mpi::World;
+
+Datagram make_datagram(int source, std::uint32_t messages,
+                       const std::string& payload) {
+  Datagram d;
+  d.source = source;
+  d.message_count = messages;
+  d.payload.resize(payload.size());
+  std::memcpy(d.payload.data(), payload.data(), payload.size());
+  return d;
+}
+
+TEST(World, RejectsNonPositiveRankCount) {
+  EXPECT_THROW(World(0), std::invalid_argument);
+  EXPECT_THROW(World(-3), std::invalid_argument);
+}
+
+TEST(World, DeliversInFifoOrder) {
+  World world(2);
+  world.note_messages_submitted(2);
+  world.post(1, make_datagram(0, 1, "first"));
+  world.post(1, make_datagram(0, 1, "second"));
+
+  Datagram out;
+  ASSERT_TRUE(world.try_collect(1, out));
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(out.payload.data()),
+                        out.payload.size()),
+            "first");
+  ASSERT_TRUE(world.try_collect(1, out));
+  EXPECT_EQ(std::string(reinterpret_cast<const char*>(out.payload.data()),
+                        out.payload.size()),
+            "second");
+  EXPECT_FALSE(world.try_collect(1, out));
+}
+
+TEST(World, MailboxesAreIndependent) {
+  World world(3);
+  world.note_messages_submitted(1);
+  world.post(2, make_datagram(0, 1, "x"));
+  EXPECT_TRUE(world.mailbox_empty(0));
+  EXPECT_TRUE(world.mailbox_empty(1));
+  EXPECT_FALSE(world.mailbox_empty(2));
+}
+
+TEST(World, QuiescenceTracksCounters) {
+  World world(2);
+  EXPECT_TRUE(world.quiescent());
+  world.note_messages_submitted(3);
+  EXPECT_FALSE(world.quiescent());
+  world.note_messages_processed(2);
+  EXPECT_FALSE(world.quiescent());
+  world.note_messages_processed(1);
+  EXPECT_TRUE(world.quiescent());
+}
+
+TEST(World, CountsDatagrams) {
+  World world(2);
+  world.note_messages_submitted(2);
+  world.post(0, make_datagram(1, 1, "a"));
+  world.post(1, make_datagram(0, 1, "b"));
+  EXPECT_EQ(world.datagrams_posted(), 2u);
+}
+
+// -- Threaded driver ---------------------------------------------------------
+
+TEST(ThreadedDriver, CompletesTrivialPhase) {
+  World world(4);
+  std::atomic<int> ran{0};
+  dnnd::mpi::run_threaded_phase(
+      world, 4, [&](int) { ran.fetch_add(1); }, [](int) {},
+      [](int) { return std::size_t{0}; });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadedDriver, DrainsMessageChains) {
+  // Each message processed on a rank spawns a follow-up to the next rank
+  // until a hop budget runs out; the barrier must not complete early.
+  constexpr int kRanks = 4;
+  constexpr int kInitialPerRank = 8;
+  constexpr int kHops = 5;
+  World world(kRanks);
+  std::atomic<std::uint64_t> handled{0};
+
+  auto send_hop = [&](int from, int hops_left) {
+    Datagram d;
+    d.source = from;
+    d.message_count = 1;
+    d.payload.resize(sizeof(int));
+    std::memcpy(d.payload.data(), &hops_left, sizeof(int));
+    world.note_messages_submitted(1);
+    world.post((from + 1) % kRanks, std::move(d));
+  };
+
+  auto process = [&](int rank) -> std::size_t {
+    Datagram d;
+    std::size_t n = 0;
+    while (world.try_collect(rank, d)) {
+      int hops = 0;
+      std::memcpy(&hops, d.payload.data(), sizeof(int));
+      if (hops > 0) send_hop(rank, hops - 1);
+      handled.fetch_add(1);
+      world.note_messages_processed(1);
+      ++n;
+    }
+    return n;
+  };
+
+  dnnd::mpi::run_threaded_phase(
+      world, kRanks,
+      [&](int rank) {
+        for (int i = 0; i < kInitialPerRank; ++i) send_hop(rank, kHops);
+      },
+      [](int) {}, process);
+
+  EXPECT_TRUE(world.quiescent());
+  EXPECT_EQ(handled.load(),
+            static_cast<std::uint64_t>(kRanks * kInitialPerRank * (kHops + 1)));
+}
+
+TEST(ThreadedDriver, PropagatesPhaseExceptions) {
+  World world(3);
+  EXPECT_THROW(
+      dnnd::mpi::run_threaded_phase(
+          world, 3,
+          [](int rank) {
+            if (rank == 1) throw std::runtime_error("boom");
+          },
+          [](int) {}, [](int) { return std::size_t{0}; }),
+      std::runtime_error);
+}
+
+}  // namespace

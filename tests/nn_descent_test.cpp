@@ -1,0 +1,193 @@
+// Tests for the serial NN-Descent reference: convergence, recall against
+// brute force (the §5.2 methodology at unit-test scale), and behaviour of
+// the algorithm parameters.
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.hpp"
+
+#include "core/distance.hpp"
+#include "core/nn_descent.hpp"
+#include "core/recall.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using namespace dnnd;  // NOLINT
+using core::NnDescentConfig;
+using core::NnDescentStats;
+
+float l2f(std::span<const float> a, std::span<const float> b) {
+  return core::l2(a, b);
+}
+
+core::FeatureStore<float> clustered(std::size_t n, std::size_t dim = 8,
+                                    std::uint64_t seed = 11) {
+  data::MixtureSpec spec;
+  spec.dim = dim;
+  spec.num_clusters = 12;
+  spec.seed = seed;
+  return data::GaussianMixture(spec).sample(n, 1);
+}
+
+TEST(NnDescent, ProducesFullRowsOfDistinctNeighbors) {
+  const auto points = clustered(300);
+  NnDescentConfig cfg;
+  cfg.k = 8;
+  const auto graph = core::build_nn_descent(points, l2f, cfg);
+  ASSERT_EQ(graph.num_vertices(), 300u);
+  for (core::VertexId v = 0; v < 300; ++v) {
+    const auto row = graph.neighbors(v);
+    EXPECT_EQ(row.size(), 8u);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      EXPECT_NE(row[i].id, v) << "self-loop at " << v;
+      if (i > 0) { EXPECT_GE(row[i].distance, row[i - 1].distance); }
+      for (std::size_t j = i + 1; j < row.size(); ++j) {
+        EXPECT_NE(row[i].id, row[j].id) << "duplicate neighbor at " << v;
+      }
+    }
+  }
+}
+
+TEST(NnDescent, HighRecallOnClusteredData) {
+  const auto points = clustered(600);
+  NnDescentConfig cfg;
+  cfg.k = 10;
+  const auto approx = core::build_nn_descent(points, l2f, cfg);
+  const auto exact = baselines::brute_force_knn_graph(points, l2f, 10);
+  EXPECT_GT(core::graph_recall(approx, exact, 10), 0.95);
+}
+
+TEST(NnDescent, DistanceEvalsGrowSubQuadratically) {
+  // The paper quotes an empirical cost around O(n^1.14) vs O(n^2) brute
+  // force. At small n the constants hide that, so assert on growth: 4x the
+  // points must cost far less than 16x the evaluations (n^1.5 ⇒ 8x).
+  auto evals_at = [&](std::size_t n) {
+    const auto points = clustered(n);
+    NnDescentConfig cfg;
+    cfg.k = 10;
+    NnDescentStats stats;
+    (void)core::build_nn_descent(points, l2f, cfg, &stats);
+    return stats.distance_evals;
+  };
+  const auto small = evals_at(500);
+  const auto large = evals_at(2000);
+  EXPECT_LT(static_cast<double>(large),
+            8.0 * static_cast<double>(small))
+      << "growth should be sub-quadratic (got " << large << " vs " << small
+      << ")";
+}
+
+TEST(NnDescent, UpdatesDecayAcrossIterations) {
+  const auto points = clustered(500);
+  NnDescentConfig cfg;
+  cfg.k = 10;
+  NnDescentStats stats;
+  (void)core::build_nn_descent(points, l2f, cfg, &stats);
+  ASSERT_GE(stats.iterations, 2u);
+  // Convergence: the last iteration does far less work than the first.
+  EXPECT_LT(stats.updates_per_iteration.back(),
+            stats.updates_per_iteration.front() / 4);
+}
+
+TEST(NnDescent, LargerDeltaStopsEarlier) {
+  const auto points = clustered(500);
+  NnDescentConfig strict, loose;
+  strict.k = loose.k = 10;
+  strict.delta = 0.0001;
+  loose.delta = 0.05;
+  NnDescentStats s_strict, s_loose;
+  (void)core::build_nn_descent(points, l2f, strict, &s_strict);
+  (void)core::build_nn_descent(points, l2f, loose, &s_loose);
+  EXPECT_LE(s_loose.iterations, s_strict.iterations);
+  EXPECT_LE(s_loose.distance_evals, s_strict.distance_evals);
+}
+
+TEST(NnDescent, DeterministicForFixedSeed) {
+  const auto points = clustered(200);
+  NnDescentConfig cfg;
+  cfg.k = 6;
+  cfg.seed = 123;
+  const auto g1 = core::build_nn_descent(points, l2f, cfg);
+  const auto g2 = core::build_nn_descent(points, l2f, cfg);
+  EXPECT_EQ(g1, g2);
+}
+
+TEST(NnDescent, DifferentSeedsStillConvergeToSimilarQuality) {
+  const auto points = clustered(400);
+  const auto exact = baselines::brute_force_knn_graph(points, l2f, 8);
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL}) {
+    NnDescentConfig cfg;
+    cfg.k = 8;
+    cfg.seed = seed;
+    const auto graph = core::build_nn_descent(points, l2f, cfg);
+    EXPECT_GT(core::graph_recall(graph, exact, 8), 0.9)
+        << "seed " << seed;
+  }
+}
+
+TEST(NnDescent, WorksWithCosineMetric) {
+  const auto points = clustered(300, 16);
+  const auto cosf = [](std::span<const float> a, std::span<const float> b) {
+    return core::cosine(a, b);
+  };
+  NnDescentConfig cfg;
+  cfg.k = 8;
+  const auto approx = core::build_nn_descent(points, cosf, cfg);
+  const auto exact = baselines::brute_force_knn_graph(points, cosf, 8);
+  EXPECT_GT(core::graph_recall(approx, exact, 8), 0.9);
+}
+
+TEST(NnDescent, WorksWithJaccardSparseSets) {
+  data::SparseSetSpec spec;
+  spec.num_topics = 16;
+  const data::SparseSetFamily family(spec);
+  const auto points = family.sample(300, 1);
+  const auto jac = [](std::span<const std::uint32_t> a,
+                      std::span<const std::uint32_t> b) {
+    return core::jaccard_sorted(a, b);
+  };
+  NnDescentConfig cfg;
+  cfg.k = 8;
+  const auto approx = core::build_nn_descent(points, jac, cfg);
+  const auto exact = baselines::brute_force_knn_graph(points, jac, 8);
+  // Jaccard on sets has many ties, which caps achievable recall.
+  EXPECT_GT(core::graph_recall(approx, exact, 8), 0.7);
+}
+
+TEST(NnDescent, TinyDatasetSmallerThanK) {
+  // N <= K: every vertex should link to everything else it can.
+  const auto points = clustered(5);
+  NnDescentConfig cfg;
+  cfg.k = 10;
+  const auto graph = core::build_nn_descent(points, l2f, cfg);
+  for (core::VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(graph.neighbors(v).size(), 4u);
+  }
+}
+
+TEST(BruteForce, ExactGraphIsSymmetricallyConsistent) {
+  const auto points = clustered(100);
+  const auto graph = baselines::brute_force_knn_graph(points, l2f, 5);
+  for (core::VertexId v = 0; v < 100; ++v) {
+    const auto row = graph.neighbors(v);
+    ASSERT_EQ(row.size(), 5u);
+    // Each listed distance matches a direct evaluation.
+    for (const auto& n : row) {
+      EXPECT_FLOAT_EQ(n.distance, l2f(points[v], points[n.id]));
+    }
+  }
+}
+
+TEST(BruteForce, QueryMatchesGraphRow) {
+  const auto points = clustered(150);
+  const auto graph = baselines::brute_force_knn_graph(points, l2f, 5);
+  // Querying with point v's own vector returns v first, then v's row.
+  const auto ids = baselines::brute_force_query(points, points[7], l2f, 6);
+  ASSERT_EQ(ids.size(), 6u);
+  EXPECT_EQ(ids[0], 7u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(ids[i + 1], graph.neighbors(7)[i].id);
+  }
+}
+
+}  // namespace

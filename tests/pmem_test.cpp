@@ -1,0 +1,325 @@
+// Unit tests for the persistent memory layer: offset_ptr semantics, arena
+// allocation, the STL allocator, pmem::vector, and Manager lifecycle
+// including reopen-at-a-different-address behaviour.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pmem/allocator.hpp"
+#include "pmem/arena.hpp"
+#include "pmem/manager.hpp"
+#include "pmem/offset_ptr.hpp"
+#include "pmem/vector.hpp"
+
+namespace {
+
+namespace pmem = dnnd::pmem;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name) : path_(temp_path(name)) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+// -- offset_ptr ---------------------------------------------------------------
+
+TEST(OffsetPtr, NullByDefault) {
+  pmem::offset_ptr<int> p;
+  EXPECT_FALSE(p);
+  EXPECT_EQ(p.get(), nullptr);
+  EXPECT_TRUE(p == nullptr);
+}
+
+TEST(OffsetPtr, PointsAndDereferences) {
+  int x = 42;
+  pmem::offset_ptr<int> p(&x);
+  EXPECT_TRUE(p);
+  EXPECT_EQ(*p, 42);
+  *p = 7;
+  EXPECT_EQ(x, 7);
+}
+
+TEST(OffsetPtr, CopyPreservesTargetNotOffset) {
+  // Two offset_ptrs at different addresses pointing at the same object
+  // hold different raw offsets; copying must recompute.
+  int x = 1;
+  pmem::offset_ptr<int> a(&x);
+  pmem::offset_ptr<int> b;
+  b = a;
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(OffsetPtr, SurvivesBlockRelocation) {
+  // Simulate a remap: a struct containing an offset_ptr into itself is
+  // memmoved to a new location; the self-relative pointer must follow.
+  struct Node {
+    int value;
+    pmem::offset_ptr<int> self;
+  };
+  alignas(Node) unsigned char buf_a[sizeof(Node)];
+  alignas(Node) unsigned char buf_b[sizeof(Node)];
+  auto* node = new (buf_a) Node{11, nullptr};
+  node->self = &node->value;
+  std::memcpy(buf_b, buf_a, sizeof(Node));
+  auto* moved = reinterpret_cast<Node*>(buf_b);
+  EXPECT_EQ(moved->self.get(), &moved->value);
+  EXPECT_EQ(*moved->self, 11);
+}
+
+TEST(OffsetPtr, ArithmeticWalksArrays) {
+  int arr[4] = {0, 1, 2, 3};
+  pmem::offset_ptr<int> p(&arr[0]);
+  EXPECT_EQ(p[2], 2);
+  p += 3;
+  EXPECT_EQ(*p, 3);
+  pmem::offset_ptr<int> q(&arr[1]);
+  EXPECT_EQ(p - q, 2);
+}
+
+// -- arena --------------------------------------------------------------------
+
+TEST(Arena, SizeClassesArePowersOfTwoFromSixteen) {
+  EXPECT_EQ(pmem::size_class_of(1), 0u);
+  EXPECT_EQ(pmem::size_class_of(16), 0u);
+  EXPECT_EQ(pmem::size_class_of(17), 1u);
+  EXPECT_EQ(pmem::size_class_of(32), 1u);
+  EXPECT_EQ(pmem::size_class_of(33), 2u);
+  EXPECT_EQ(pmem::size_class_bytes(0), 16u);
+  EXPECT_EQ(pmem::size_class_bytes(3), 128u);
+}
+
+class ArenaFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    buffer_.resize(1 << 20);
+    header_ = reinterpret_cast<pmem::ArenaHeader*>(buffer_.data());
+    pmem::arena_format(header_, buffer_.size());
+  }
+  std::vector<unsigned char> buffer_;
+  pmem::ArenaHeader* header_ = nullptr;
+};
+
+TEST_F(ArenaFixture, FormatThenValidate) {
+  EXPECT_TRUE(pmem::arena_validate(header_, buffer_.size()));
+  pmem::ArenaHeader bogus{};
+  EXPECT_FALSE(pmem::arena_validate(&bogus, sizeof(bogus)));
+}
+
+TEST_F(ArenaFixture, AllocationsAreDisjointAndAligned) {
+  void* a = pmem::arena_allocate(header_, 100);
+  void* b = pmem::arena_allocate(header_, 100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 16, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 16, 0u);
+  // 100 B rounds to the 128 B class.
+  EXPECT_GE(reinterpret_cast<char*>(b) - reinterpret_cast<char*>(a), 128);
+}
+
+TEST_F(ArenaFixture, FreedBlocksAreReused) {
+  void* a = pmem::arena_allocate(header_, 64);
+  pmem::arena_deallocate(header_, a, 64);
+  void* b = pmem::arena_allocate(header_, 64);
+  EXPECT_EQ(a, b);  // LIFO free list
+}
+
+TEST_F(ArenaFixture, AllocatedCounterTracksLiveBytes) {
+  EXPECT_EQ(header_->allocated, 0u);
+  void* a = pmem::arena_allocate(header_, 10);  // 16 B class
+  EXPECT_EQ(header_->allocated, 16u);
+  pmem::arena_deallocate(header_, a, 10);
+  EXPECT_EQ(header_->allocated, 0u);
+}
+
+TEST_F(ArenaFixture, ExhaustionReturnsNull) {
+  EXPECT_EQ(pmem::arena_allocate(header_, buffer_.size() * 2), nullptr);
+  // Drain with large blocks until failure; must not crash or overrun.
+  while (pmem::arena_allocate(header_, 1 << 16) != nullptr) {
+  }
+  EXPECT_EQ(pmem::arena_allocate(header_, 1 << 16), nullptr);
+  EXPECT_NE(pmem::arena_allocate(header_, 8), nullptr);  // smaller still fits
+}
+
+// -- pmem::vector (over a transient arena) ------------------------------------
+
+class PmemVectorFixture : public ArenaFixture {};
+
+TEST_F(PmemVectorFixture, PushBackAndIndex) {
+  pmem::vector<int> v{pmem::allocator<int>(header_)};
+  for (int i = 0; i < 100; ++i) v.push_back(i * i);
+  ASSERT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i * i);
+}
+
+TEST_F(PmemVectorFixture, ResizeGrowAndShrink) {
+  pmem::vector<int> v{pmem::allocator<int>(header_)};
+  v.resize(5, 9);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_EQ(v[4], 9);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+  v.resize(4);
+  EXPECT_EQ(v[3], 0);
+}
+
+TEST_F(PmemVectorFixture, AtThrowsOutOfRange) {
+  pmem::vector<int> v{pmem::allocator<int>(header_)};
+  v.push_back(1);
+  EXPECT_EQ(v.at(0), 1);
+  EXPECT_THROW(v.at(1), std::out_of_range);
+}
+
+TEST_F(PmemVectorFixture, CopyAndMoveSemantics) {
+  pmem::vector<int> v{pmem::allocator<int>(header_)};
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  pmem::vector<int> copy(v);
+  EXPECT_EQ(copy, v);
+  pmem::vector<int> moved(std::move(v));
+  EXPECT_EQ(moved, copy);
+  EXPECT_TRUE(v.empty());  // NOLINT(bugprone-use-after-move): spec'd empty
+}
+
+TEST_F(PmemVectorFixture, ShrinkToFitReleasesMemory) {
+  pmem::vector<int> v{pmem::allocator<int>(header_)};
+  v.reserve(1024);
+  v.push_back(1);
+  const auto before = header_->allocated;
+  v.shrink_to_fit();
+  EXPECT_LT(header_->allocated, before);
+  EXPECT_EQ(v[0], 1);
+}
+
+TEST_F(PmemVectorFixture, WorksWithNonTrivialElements) {
+  // Elements with self-relative pointers must survive regrowth (the
+  // element-wise move in regrow(); memcpy would corrupt them).
+  struct Holder {
+    int value = 0;
+    pmem::offset_ptr<int> self;
+    Holder() { self = &value; }
+    explicit Holder(int v) : value(v) { self = &value; }
+    Holder(const Holder& o) : value(o.value) { self = &value; }
+    Holder& operator=(const Holder& o) {
+      value = o.value;
+      return *this;
+    }
+  };
+  pmem::vector<Holder> v{pmem::allocator<Holder>(header_)};
+  for (int i = 0; i < 50; ++i) v.push_back(Holder(i));  // forces regrowth
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(*v[static_cast<std::size_t>(i)].self, i);
+    EXPECT_EQ(v[static_cast<std::size_t>(i)].self.get(),
+              &v[static_cast<std::size_t>(i)].value);
+  }
+}
+
+// -- Manager -------------------------------------------------------------------
+
+TEST(Manager, CreateFindConstructDestroy) {
+  TempFile file("dnnd_pmem_basic.dat");
+  auto mgr = pmem::Manager::create(file.path(), 1 << 20);
+  EXPECT_TRUE(mgr.is_open());
+
+  auto* x = mgr.find_or_construct<int>("answer", 42);
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(*x, 42);
+  // Second call finds, does not reconstruct.
+  EXPECT_EQ(mgr.find_or_construct<int>("answer", 7), x);
+  EXPECT_EQ(*x, 42);
+  EXPECT_TRUE(mgr.contains("answer"));
+
+  EXPECT_TRUE(mgr.destroy<int>("answer"));
+  EXPECT_FALSE(mgr.contains("answer"));
+  EXPECT_FALSE(mgr.destroy<int>("answer"));
+}
+
+TEST(Manager, TypeMismatchThrows) {
+  TempFile file("dnnd_pmem_type.dat");
+  auto mgr = pmem::Manager::create(file.path(), 1 << 20);
+  mgr.find_or_construct<int>("obj", 1);
+  EXPECT_THROW(mgr.find<double>("obj"), std::runtime_error);
+}
+
+TEST(Manager, OpenMissingFileThrows) {
+  EXPECT_THROW(pmem::Manager::open(temp_path("definitely_missing.dat")),
+               std::system_error);
+}
+
+TEST(Manager, OpenNonDatastoreThrows) {
+  TempFile file("dnnd_pmem_garbage.dat");
+  {
+    std::ofstream out(file.path(), std::ios::binary);
+    out << std::string(8192, 'x');
+  }
+  EXPECT_THROW(pmem::Manager::open(file.path()), std::runtime_error);
+}
+
+TEST(Manager, DataSurvivesReopen) {
+  TempFile file("dnnd_pmem_reopen.dat");
+  {
+    auto mgr = pmem::Manager::create(file.path(), 4 << 20);
+    auto* v = mgr.find_or_construct<pmem::vector<std::uint64_t>>(
+        "numbers", mgr.get_allocator<std::uint64_t>());
+    ASSERT_NE(v, nullptr);
+    for (std::uint64_t i = 0; i < 10000; ++i) v->push_back(i * 3);
+  }  // close
+  {
+    auto mgr = pmem::Manager::open(file.path());
+    auto* v = mgr.find<pmem::vector<std::uint64_t>>("numbers");
+    ASSERT_NE(v, nullptr);
+    ASSERT_EQ(v->size(), 10000u);
+    for (std::uint64_t i = 0; i < 10000; ++i) EXPECT_EQ((*v)[i], i * 3);
+    // And the reopened structure is still mutable.
+    v->push_back(999);
+    EXPECT_EQ(v->back(), 999u);
+  }
+}
+
+TEST(Manager, SnapshotIsIndependentCopy) {
+  TempFile file("dnnd_pmem_snap_src.dat");
+  TempFile snap("dnnd_pmem_snap_dst.dat");
+  auto mgr = pmem::Manager::create(file.path(), 1 << 20);
+  auto* x = mgr.find_or_construct<int>("x", 5);
+  mgr.snapshot(snap.path());
+  *x = 6;  // mutate the source after the snapshot
+  mgr.flush();
+
+  auto snap_mgr = pmem::Manager::open(snap.path());
+  EXPECT_EQ(*snap_mgr.find<int>("x"), 5);
+  auto reopened = pmem::Manager::open(file.path());
+  EXPECT_EQ(*reopened.find<int>("x"), 6);
+}
+
+TEST(Manager, AllocatorThrowsWhenExhausted) {
+  TempFile file("dnnd_pmem_exhaust.dat");
+  auto mgr = pmem::Manager::create(file.path(), 1 << 20);
+  auto alloc = mgr.get_allocator<char>();
+  EXPECT_THROW((void)alloc.allocate(2 << 20), pmem::ArenaExhausted);
+}
+
+TEST(Manager, MoveTransfersOwnership) {
+  TempFile file("dnnd_pmem_move.dat");
+  auto mgr = pmem::Manager::create(file.path(), 1 << 20);
+  mgr.find_or_construct<int>("k", 3);
+  pmem::Manager moved(std::move(mgr));
+  EXPECT_FALSE(mgr.is_open());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(moved.is_open());
+  EXPECT_EQ(*moved.find<int>("k"), 3);
+}
+
+}  // namespace

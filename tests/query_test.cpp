@@ -1,0 +1,213 @@
+// Tests for the graph query engine (§3.3): exactness on exact graphs,
+// epsilon recall/cost tradeoff, batch search, and recall metrics.
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.hpp"
+#include "core/distance.hpp"
+#include "core/knn_query.hpp"
+#include "core/nn_descent.hpp"
+#include "core/recall.hpp"
+#include "data/synthetic.hpp"
+
+namespace {
+
+using namespace dnnd;  // NOLINT
+using core::GraphSearcher;
+using core::SearchParams;
+
+struct L2Fn {
+  float operator()(std::span<const float> a, std::span<const float> b) const {
+    return core::l2(a, b);
+  }
+};
+
+struct Workload {
+  core::FeatureStore<float> base;
+  core::FeatureStore<float> queries;
+  core::KnnGraph graph;  // optimized NN-Descent graph
+  std::vector<std::vector<core::VertexId>> truth;
+};
+
+Workload make_workload(std::size_t n = 800, std::size_t nq = 30) {
+  data::MixtureSpec spec;
+  spec.dim = 8;
+  spec.num_clusters = 10;
+  spec.seed = 31;
+  // Overlapping clusters: real ANN corpora (DEEP1B & co.) yield connected
+  // k-NN graphs; widely separated mixtures do not, and a greedy search
+  // can never cross components regardless of epsilon.
+  spec.center_range = 5.0f;
+  spec.cluster_std = 1.5f;
+  const data::GaussianMixture family(spec);
+  Workload w{family.sample(n, 1), family.sample(nq, 2), {}, {}};
+  core::NnDescentConfig cfg;
+  cfg.k = 10;
+  w.graph = core::build_nn_descent(w.base, L2Fn{}, cfg);
+  w.graph.merge_reverse_edges(15);
+  w.truth = baselines::brute_force_query_batch(w.base, w.queries, L2Fn{}, 10);
+  return w;
+}
+
+const Workload& workload() {
+  static const Workload w = make_workload();
+  return w;
+}
+
+TEST(Query, FindsSelfWhenQueryingABasePoint) {
+  const auto& w = workload();
+  GraphSearcher searcher(w.graph, w.base, L2Fn{});
+  SearchParams params;
+  params.num_neighbors = 5;
+  params.epsilon = 0.2;
+  const auto result = searcher.search(w.base[17], params);
+  ASSERT_FALSE(result.neighbors.empty());
+  EXPECT_EQ(result.neighbors[0].id, 17u);
+  EXPECT_FLOAT_EQ(result.neighbors[0].distance, 0.0f);
+}
+
+TEST(Query, ResultsAreSortedAndDistinct) {
+  const auto& w = workload();
+  GraphSearcher searcher(w.graph, w.base, L2Fn{});
+  SearchParams params;
+  params.num_neighbors = 10;
+  for (std::size_t qi = 0; qi < w.queries.size(); ++qi) {
+    const auto result = searcher.search(w.queries.row(qi), params);
+    ASSERT_EQ(result.neighbors.size(), 10u);
+    for (std::size_t i = 1; i < result.neighbors.size(); ++i) {
+      EXPECT_GE(result.neighbors[i].distance,
+                result.neighbors[i - 1].distance);
+      for (std::size_t j = 0; j < i; ++j) {
+        EXPECT_NE(result.neighbors[i].id, result.neighbors[j].id);
+      }
+    }
+  }
+}
+
+TEST(Query, VisitsFarFewerPointsThanBruteForce) {
+  const auto& w = workload();
+  GraphSearcher searcher(w.graph, w.base, L2Fn{});
+  SearchParams params;
+  params.num_neighbors = 10;
+  const auto result = searcher.search(w.queries.row(0), params);
+  EXPECT_LT(result.visited, w.base.size() / 2)
+      << "greedy search should terminate early";
+  EXPECT_EQ(result.visited, result.distance_evals);
+}
+
+TEST(Query, EpsilonTradesWorkForRecall) {
+  const auto& w = workload();
+  GraphSearcher searcher(w.graph, w.base, L2Fn{});
+  double prev_recall = -1.0;
+  std::uint64_t prev_work = 0;
+  for (const double epsilon : {0.0, 0.2, 0.4}) {
+    SearchParams params;
+    params.num_neighbors = 10;
+    params.epsilon = epsilon;
+    std::vector<std::vector<core::Neighbor>> computed;
+    std::uint64_t work = 0;
+    for (std::size_t qi = 0; qi < w.queries.size(); ++qi) {
+      auto result = searcher.search(w.queries.row(qi), params);
+      work += result.distance_evals;
+      computed.push_back(std::move(result.neighbors));
+    }
+    const double recall = core::mean_query_recall(computed, w.truth, 10);
+    EXPECT_GE(recall + 1e-9, prev_recall)
+        << "recall should not degrade as epsilon grows";
+    EXPECT_GT(work, prev_work) << "work should grow with epsilon";
+    prev_recall = recall;
+    prev_work = work;
+  }
+  EXPECT_GT(prev_recall, 0.85) << "epsilon=0.4 should reach high recall";
+}
+
+TEST(Query, HighEpsilonOnOptimizedGraphNearsExactness) {
+  const auto& w = workload();
+  GraphSearcher searcher(w.graph, w.base, L2Fn{});
+  SearchParams params;
+  params.num_neighbors = 10;
+  params.epsilon = 0.8;
+  params.num_entry_points = 32;  // RP-tree-substitute entry seeding
+  std::vector<std::vector<core::Neighbor>> computed;
+  for (std::size_t qi = 0; qi < w.queries.size(); ++qi) {
+    computed.push_back(searcher.search(w.queries.row(qi), params).neighbors);
+  }
+  EXPECT_GT(core::mean_query_recall(computed, w.truth, 10), 0.9);
+}
+
+TEST(Query, BatchSearchMatchesSequentialSearch) {
+  const auto& w = workload();
+  GraphSearcher searcher(w.graph, w.base, L2Fn{});
+  SearchParams params;
+  params.num_neighbors = 10;
+  params.epsilon = 0.2;
+  const auto batch = searcher.batch_search(w.queries, params, 4);
+  ASSERT_EQ(batch.size(), w.queries.size());
+  for (std::size_t qi = 0; qi < w.queries.size(); ++qi) {
+    SearchParams p = params;
+    p.seed = dnnd::util::mix64(params.seed + qi);  // same per-query seed
+    const auto solo = searcher.search(w.queries.row(qi), p);
+    ASSERT_EQ(batch[qi].neighbors.size(), solo.neighbors.size());
+    for (std::size_t i = 0; i < solo.neighbors.size(); ++i) {
+      EXPECT_EQ(batch[qi].neighbors[i].id, solo.neighbors[i].id);
+    }
+  }
+}
+
+TEST(Query, MoreNeighborsThanKIsSupported) {
+  // §3.3: "the number of nearest neighbors to search for can be larger
+  // than k".
+  const auto& w = workload();
+  GraphSearcher searcher(w.graph, w.base, L2Fn{});
+  SearchParams params;
+  params.num_neighbors = 25;  // graph k is 10 (pruned to 15)
+  params.epsilon = 0.3;
+  const auto result = searcher.search(w.queries.row(0), params);
+  EXPECT_EQ(result.neighbors.size(), 25u);
+}
+
+TEST(Query, EmptyGraphReturnsNothing) {
+  core::KnnGraph empty;
+  core::FeatureStore<float> no_points;
+  GraphSearcher searcher(empty, no_points, L2Fn{});
+  SearchParams params;
+  const auto result = searcher.search(std::vector<float>{1.f, 2.f}, params);
+  EXPECT_TRUE(result.neighbors.empty());
+}
+
+// -- recall metrics -------------------------------------------------------------
+
+TEST(Recall, QueryRecallCountsIntersection) {
+  const std::vector<core::Neighbor> computed = {
+      {1, 0.1f, false}, {2, 0.2f, false}, {9, 0.3f, false}};
+  const std::vector<core::VertexId> truth = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(core::query_recall(computed, truth, 3), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(core::query_recall(computed, truth, 2), 1.0);
+}
+
+TEST(Recall, GraphRecallPerfectOnIdenticalGraphs) {
+  core::KnnGraph g(2);
+  g.set_neighbors(0, {{1, 1.0f, false}});
+  g.set_neighbors(1, {{0, 1.0f, false}});
+  EXPECT_DOUBLE_EQ(core::graph_recall(g, g, 1), 1.0);
+}
+
+TEST(Recall, GraphRecallZeroOnDisjointGraphs) {
+  core::KnnGraph a(3), b(3);
+  a.set_neighbors(0, {{1, 1.0f, false}});
+  b.set_neighbors(0, {{2, 1.0f, false}});
+  a.set_neighbors(1, {{0, 1.0f, false}});
+  b.set_neighbors(1, {{2, 1.0f, false}});
+  a.set_neighbors(2, {{0, 1.0f, false}});
+  b.set_neighbors(2, {{1, 1.0f, false}});
+  EXPECT_DOUBLE_EQ(core::graph_recall(a, b, 1), 0.0);
+}
+
+TEST(Recall, MismatchedSizesThrow) {
+  core::KnnGraph a(2), b(3);
+  EXPECT_THROW((void)core::graph_recall(a, b, 1), std::invalid_argument);
+  EXPECT_THROW(
+      (void)core::mean_query_recall({{}}, {}, 1),
+      std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,209 @@
+// Unit tests for dnnd::util — RNG determinism and statistics, hashing and
+// partitioning, streaming stats.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/hash.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using dnnd::util::RunningStats;
+using dnnd::util::Xoshiro256;
+
+TEST(Rng, SameSeedSameStream) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Xoshiro256 parent(7);
+  const Xoshiro256 forked_early = parent.fork(3);
+  (void)parent();
+  (void)parent();
+  Xoshiro256 parent2(7);
+  const Xoshiro256 forked_late = parent2.fork(3);
+  Xoshiro256 a = forked_early, b = forked_late;
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForksWithDifferentIdsDiffer) {
+  Xoshiro256 parent(7);
+  Xoshiro256 a = parent.fork(0), b = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformBelowStaysInRange) {
+  Xoshiro256 rng(42);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.uniform_below(bound), bound);
+  }
+}
+
+TEST(Rng, UniformBelowOneAlwaysZero) {
+  Xoshiro256 rng(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, UniformBelowIsRoughlyUniform) {
+  Xoshiro256 rng(42);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform_below(kBound)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBound, 0.1 * kDraws / kBound);
+  }
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Xoshiro256 rng(9);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Xoshiro256 rng(11);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  dnnd::util::shuffle(shuffled.begin(), shuffled.end(), rng);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Hash, OwnerRankInRangeAndStable) {
+  for (int ranks : {1, 2, 7, 16, 128}) {
+    for (std::uint64_t id = 0; id < 1000; ++id) {
+      const int r = dnnd::util::owner_rank(id, ranks);
+      EXPECT_GE(r, 0);
+      EXPECT_LT(r, ranks);
+      EXPECT_EQ(r, dnnd::util::owner_rank(id, ranks));
+    }
+  }
+}
+
+TEST(Hash, OwnerRankBalancesLoad) {
+  constexpr int kRanks = 8;
+  constexpr int kIds = 80000;
+  std::vector<int> counts(kRanks, 0);
+  for (std::uint64_t id = 0; id < kIds; ++id) {
+    ++counts[dnnd::util::owner_rank(id, kRanks)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kIds / kRanks, 0.05 * kIds / kRanks);
+  }
+}
+
+TEST(Hash, Mix64ChangesOnSingleBitFlips) {
+  // Weak avalanche check: flipping one input bit flips a sizeable number
+  // of output bits.
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t a = dnnd::util::mix64(0x123456789abcdefULL);
+    const std::uint64_t b =
+        dnnd::util::mix64(0x123456789abcdefULL ^ (1ULL << bit));
+    EXPECT_GE(std::popcount(a ^ b), 10);
+  }
+}
+
+TEST(Hash, Fnv1aDistinguishesStrings) {
+  EXPECT_NE(dnnd::util::fnv1a("abc"), dnnd::util::fnv1a("abd"));
+  EXPECT_NE(dnnd::util::fnv1a(""), dnnd::util::fnv1a("a"));
+  EXPECT_EQ(dnnd::util::fnv1a("type1"), dnnd::util::fnv1a("type1"));
+}
+
+TEST(Stats, MatchesDirectComputation) {
+  RunningStats s;
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (const double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.variance(), 7.5, 1e-12);  // sample variance of 1..9
+}
+
+TEST(Stats, MergeEqualsSingleAccumulator) {
+  RunningStats whole, left, right;
+  dnnd::util::Xoshiro256 rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal() * 3 + 1;
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+}
+
+TEST(Stats, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(2.0);
+  a.merge(b);  // merging empty is a no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // merging into empty copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(dnnd::util::percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(dnnd::util::percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(dnnd::util::percentile(xs, 50), 25.0);
+}
+
+TEST(Stats, EmptyPercentileIsNaN) {
+  EXPECT_TRUE(std::isnan(dnnd::util::percentile({}, 50)));
+}
+
+TEST(Logging, LevelRoundTripsAndFilters) {
+  const auto saved = dnnd::util::log_level();
+  dnnd::util::set_log_level(dnnd::util::LogLevel::kError);
+  EXPECT_EQ(dnnd::util::log_level(), dnnd::util::LogLevel::kError);
+  // Filtered-out and emitted lines must both be safe to produce.
+  DNND_LOG_DEBUG() << "suppressed " << 42;
+  dnnd::util::set_log_level(dnnd::util::LogLevel::kDebug);
+  DNND_LOG_DEBUG() << "emitted " << 43;
+  dnnd::util::log_line(dnnd::util::LogLevel::kInfo, 3, "rank-tagged line");
+  dnnd::util::set_log_level(saved);
+}
+
+}  // namespace
