@@ -1,17 +1,26 @@
 #include "comm/communicator.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 namespace dnnd::comm {
 
 Communicator::Communicator(mpi::World& world, int rank,
-                           std::size_t send_buffer_bytes)
-    : world_(&world), rank_(rank), send_buffer_bytes_(send_buffer_bytes) {
+                           std::size_t send_buffer_bytes, RetryConfig retry)
+    : world_(&world),
+      rank_(rank),
+      send_buffer_bytes_(send_buffer_bytes),
+      retry_(retry) {
   if (rank < 0 || rank >= world.size()) {
     throw std::invalid_argument("Communicator: rank out of range");
   }
   send_buffers_.resize(static_cast<std::size_t>(world.size()));
+  reliable_ = world.faulty();
+  if (reliable_) {
+    send_channels_.resize(static_cast<std::size_t>(world.size()));
+    recv_channels_.resize(static_cast<std::size_t>(world.size()));
+  }
 }
 
 HandlerId Communicator::register_handler(std::string label, HandlerFn fn) {
@@ -36,6 +45,16 @@ void Communicator::flush_to(int dest) {
   datagram.payload = buffer.archive.release();
   buffer.archive.clear();
   buffer.message_count = 0;
+  if (reliable_) {
+    auto& channel = send_channels_[static_cast<std::size_t>(dest)];
+    datagram.seq = channel.next_seq++;
+    Pending pending;
+    pending.payload = datagram.payload;  // retransmission copy
+    pending.message_count = datagram.message_count;
+    pending.backoff = retry_.initial_backoff_ticks;
+    pending.retry_at = tick_ + pending.backoff;
+    channel.pending.emplace(datagram.seq, std::move(pending));
+  }
   world_->post(dest, std::move(datagram));
 }
 
@@ -44,10 +63,92 @@ std::size_t Communicator::process_available(std::size_t max_datagrams) {
   mpi::Datagram datagram;
   for (std::size_t i = 0; i < max_datagrams; ++i) {
     if (!world_->try_collect(rank_, datagram)) break;
+    if (reliable_ && !reliable_receive(datagram)) continue;
     dispatch(datagram);
     messages += datagram.message_count;
   }
+  if (reliable_) {
+    send_pending_acks();
+    drive_retransmits();
+  }
   return messages;
+}
+
+bool Communicator::reliable_receive(const mpi::Datagram& datagram) {
+  const auto src = static_cast<std::size_t>(datagram.source);
+  if (datagram.kind == mpi::DatagramKind::kAck) {
+    ++transport_.acks_received;
+    serial::InArchive ar(datagram.payload);
+    auto& channel = send_channels_[src];
+    const std::uint64_t cumulative = ar.read_size();
+    channel.pending.erase(channel.pending.begin(),
+                          channel.pending.upper_bound(cumulative));
+    const std::uint64_t selective = ar.read_size();
+    for (std::uint64_t i = 0; i < selective; ++i) {
+      channel.pending.erase(ar.read_size());
+    }
+    return false;
+  }
+  auto& channel = recv_channels_[src];
+  channel.ack_due = true;  // (re-)ack even duplicates so the sender stops
+  if (datagram.seq <= channel.cumulative ||
+      channel.out_of_order.contains(datagram.seq)) {
+    ++transport_.duplicates_suppressed;
+    return false;
+  }
+  channel.out_of_order.insert(datagram.seq);
+  while (channel.out_of_order.contains(channel.cumulative + 1)) {
+    channel.out_of_order.erase(channel.cumulative + 1);
+    ++channel.cumulative;
+  }
+  return true;
+}
+
+void Communicator::send_pending_acks() {
+  for (int src = 0; src < size(); ++src) {
+    auto& channel = recv_channels_[static_cast<std::size_t>(src)];
+    if (!channel.ack_due) continue;
+    channel.ack_due = false;
+    serial::OutArchive ar;
+    ar.write_size(channel.cumulative);
+    ar.write_size(channel.out_of_order.size());
+    for (const std::uint64_t seq : channel.out_of_order) ar.write_size(seq);
+    mpi::Datagram ack;
+    ack.source = rank_;
+    ack.kind = mpi::DatagramKind::kAck;
+    ack.payload = ar.release();
+    world_->post(src, std::move(ack));
+    ++transport_.acks_sent;
+  }
+}
+
+void Communicator::drive_retransmits() {
+  ++tick_;
+  for (int dest = 0; dest < size(); ++dest) {
+    auto& channel = send_channels_[static_cast<std::size_t>(dest)];
+    for (auto& [seq, pending] : channel.pending) {
+      if (pending.retry_at > tick_) continue;
+      if (pending.attempts >= retry_.max_retries) {
+        throw TransportError(
+            "Communicator: datagram " + std::to_string(seq) + " from rank " +
+                std::to_string(rank_) + " to rank " + std::to_string(dest) +
+                " unacknowledged after " + std::to_string(pending.attempts) +
+                " retransmissions — channel considered failed",
+            rank_, dest, seq, pending.attempts);
+      }
+      mpi::Datagram copy;
+      copy.source = rank_;
+      copy.seq = seq;
+      copy.message_count = pending.message_count;
+      copy.payload = pending.payload;
+      world_->post(dest, std::move(copy));
+      ++pending.attempts;
+      ++transport_.retransmits;
+      pending.backoff =
+          std::min(pending.backoff * 2, retry_.max_backoff_ticks);
+      pending.retry_at = tick_ + pending.backoff;
+    }
+  }
 }
 
 void Communicator::dispatch(const mpi::Datagram& datagram) {

@@ -10,10 +10,24 @@
 //     as in SPMD code) and addressed by dense HandlerId;
 //   * async() serializes the arguments into a per-destination send buffer
 //     (YGM's internal buffering, §4.1) and flushes the buffer to the
-//     transport when it exceeds `send_buffer_bytes`;
+//     transport when it exceeds `send_buffer_bytes`. A full buffer is
+//     flushed *before* the next message is packed, never mid-pack, so a
+//     multi-argument message can never be split across two datagrams;
 //   * process_available() delivers inbound messages by invoking handlers;
 //     the drivers in Environment run it to quiescence, which is the
 //     equivalent of ygm::comm::barrier().
+//
+// Reliability (DESIGN.md §2 failure model): when the World has a
+// FaultInjector installed, every outbound data datagram is stamped with a
+// per-(source → dest) sequence number and kept until acknowledged.
+// Receivers suppress duplicate sequence numbers (so each application
+// message reaches its handler exactly once and the submitted/processed
+// counters stay exact — quiescent() remains a true fixpoint under any
+// fault schedule) and acknowledge with a cumulative + selective ack.
+// Unacknowledged datagrams are retransmitted with capped exponential
+// backoff; exhausting the retry budget throws TransportError rather than
+// livelocking. When no injector is installed none of this state exists and
+// the fast path is identical to the unreliable transport.
 //
 // Thread safety: a Communicator belongs to one rank and is only touched by
 // that rank's thread (handlers for rank r run on rank r's thread). The
@@ -22,6 +36,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -35,11 +52,64 @@ namespace dnnd::comm {
 /// serialized arguments; it must consume exactly those arguments.
 using HandlerFn = std::function<void(int source, serial::InArchive&)>;
 
+/// Retry/dedup protocol knobs. Ticks are retransmission-clock steps: one
+/// tick per process_available() call on the owning rank.
+struct RetryConfig {
+  std::uint32_t max_retries = 32;           ///< then TransportError
+  /// First retransmit delay. Acks ride the receiver's normal processing
+  /// loop, so under backlog they take many ticks to come back; too small a
+  /// value floods the wire with spurious (deduped but wasted) retransmits.
+  std::uint32_t initial_backoff_ticks = 8;
+  std::uint32_t max_backoff_ticks = 128;  ///< exponential backoff cap
+};
+
+/// Thrown when a datagram exhausts its retry budget: the channel is
+/// considered failed and the error surfaces to the engine instead of the
+/// barrier spinning forever.
+class TransportError : public std::runtime_error {
+ public:
+  TransportError(const std::string& what, int source, int dest,
+                 std::uint64_t seq, std::uint32_t attempts)
+      : std::runtime_error(what),
+        source_(source),
+        dest_(dest),
+        seq_(seq),
+        attempts_(attempts) {}
+
+  [[nodiscard]] int source() const noexcept { return source_; }
+  [[nodiscard]] int dest() const noexcept { return dest_; }
+  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+  [[nodiscard]] std::uint32_t attempts() const noexcept { return attempts_; }
+
+ private:
+  int source_;
+  int dest_;
+  std::uint64_t seq_;
+  std::uint32_t attempts_;
+};
+
+/// Send/receive-side protocol counters (all zero when the protocol is off).
+struct TransportCounters {
+  std::uint64_t retransmits = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+
+  void merge(const TransportCounters& other) noexcept {
+    retransmits += other.retransmits;
+    duplicates_suppressed += other.duplicates_suppressed;
+    acks_sent += other.acks_sent;
+    acks_received += other.acks_received;
+  }
+};
+
 class Communicator {
  public:
   /// `send_buffer_bytes`: per-destination buffering threshold; 0 means
-  /// send every message immediately (useful for tests).
-  Communicator(mpi::World& world, int rank, std::size_t send_buffer_bytes);
+  /// send every message immediately (useful for tests). The retry/dedup
+  /// protocol switches on iff `world.faulty()` at construction time.
+  Communicator(mpi::World& world, int rank, std::size_t send_buffer_bytes,
+               RetryConfig retry = {});
 
   Communicator(const Communicator&) = delete;
   Communicator& operator=(const Communicator&) = delete;
@@ -58,6 +128,14 @@ class Communicator {
   template <typename... Args>
   void async(int dest, HandlerId handler, const Args&... args) {
     auto& buffer = send_buffers_[static_cast<std::size_t>(dest)];
+    // Flush a full buffer *before* packing the next message. Checking
+    // after the fact would tempt a mid-pack flush once a multi-arg
+    // serial::pack pushes the buffer over the threshold, splitting a
+    // partially packed message across two datagrams.
+    if (send_buffer_bytes_ != 0 && buffer.message_count > 0 &&
+        buffer.archive.size() >= send_buffer_bytes_) {
+      flush_to(dest);
+    }
     const std::size_t before = buffer.archive.size();
     buffer.archive.write_size(handler);
     serial::pack(buffer.archive, args...);
@@ -66,9 +144,7 @@ class Communicator {
     world_->note_messages_submitted(1);
     stats_.on_send(handler, dest != rank_, message_bytes);
     ++async_count_;
-    if (send_buffer_bytes_ == 0 || buffer.archive.size() >= send_buffer_bytes_) {
-      flush_to(dest);
-    }
+    if (send_buffer_bytes_ == 0) flush_to(dest);
   }
 
   /// Pushes all buffered messages to the transport.
@@ -76,6 +152,9 @@ class Communicator {
 
   /// Delivers up to `max_datagrams` inbound datagrams by running their
   /// handlers. Returns the number of application messages processed.
+  /// In reliable mode this call is also the protocol's clock: it sends
+  /// pending acks and retransmits timed-out datagrams, so drain loops that
+  /// poll it make progress even when nothing is arriving.
   std::size_t process_available(
       std::size_t max_datagrams = static_cast<std::size_t>(-1));
 
@@ -83,6 +162,13 @@ class Communicator {
   /// policy in the engines).
   [[nodiscard]] std::uint64_t async_count() const noexcept {
     return async_count_;
+  }
+
+  /// True when the retry/dedup protocol is active for this rank.
+  [[nodiscard]] bool reliable() const noexcept { return reliable_; }
+
+  [[nodiscard]] const TransportCounters& transport_counters() const noexcept {
+    return transport_;
   }
 
   [[nodiscard]] MessageStats& stats() noexcept { return stats_; }
@@ -96,8 +182,35 @@ class Communicator {
     std::uint32_t message_count = 0;
   };
 
+  /// Sender-side reliable channel state, one per destination.
+  struct Pending {
+    std::vector<std::byte> payload;
+    std::uint32_t message_count = 0;
+    std::uint64_t retry_at = 0;
+    std::uint32_t backoff = 0;
+    std::uint32_t attempts = 0;  ///< retransmissions so far
+  };
+  struct SendChannel {
+    std::uint64_t next_seq = 1;
+    std::map<std::uint64_t, Pending> pending;  ///< seq → awaiting ack
+  };
+
+  /// Receiver-side dedup state, one per source. A sequence number is
+  /// "seen" iff seq <= cumulative or seq ∈ out_of_order.
+  struct RecvChannel {
+    std::uint64_t cumulative = 0;
+    std::set<std::uint64_t> out_of_order;
+    bool ack_due = false;
+  };
+
   void flush_to(int dest);
   void dispatch(const mpi::Datagram& datagram);
+
+  /// Returns true when the datagram should be dispatched (fresh data);
+  /// acks and duplicates are consumed here.
+  bool reliable_receive(const mpi::Datagram& datagram);
+  void send_pending_acks();
+  void drive_retransmits();
 
   mpi::World* world_;
   int rank_;
@@ -110,6 +223,14 @@ class Communicator {
   std::vector<Handler> handlers_;
   MessageStats stats_;
   std::uint64_t async_count_ = 0;
+
+  // -- retry/dedup protocol state (empty unless reliable_) ---------------
+  bool reliable_ = false;
+  RetryConfig retry_;
+  std::uint64_t tick_ = 0;
+  std::vector<SendChannel> send_channels_;
+  std::vector<RecvChannel> recv_channels_;
+  TransportCounters transport_;
 };
 
 }  // namespace dnnd::comm

@@ -11,10 +11,14 @@ Environment::Environment(Config config) : config_(config) {
     throw std::invalid_argument("Environment: num_ranks < 1");
   }
   world_ = std::make_unique<mpi::World>(config_.num_ranks);
+  if (!config_.fault_plan.empty()) {
+    world_->install_fault_injector(std::make_unique<mpi::FaultInjector>(
+        config_.fault_plan, config_.num_ranks));
+  }
   comms_.reserve(static_cast<std::size_t>(config_.num_ranks));
   for (int r = 0; r < config_.num_ranks; ++r) {
     comms_.push_back(std::make_unique<Communicator>(
-        *world_, r, config_.send_buffer_bytes));
+        *world_, r, config_.send_buffer_bytes, config_.retry));
   }
 }
 
@@ -62,6 +66,17 @@ MessageStats Environment::aggregate_stats() const {
 
 void Environment::reset_stats() {
   for (auto& comm : comms_) comm->stats().reset();
+}
+
+TransportCounters Environment::aggregate_transport_counters() const {
+  TransportCounters merged;
+  for (const auto& comm : comms_) merged.merge(comm->transport_counters());
+  return merged;
+}
+
+mpi::FaultStats Environment::fault_stats() const {
+  const auto* injector = world_->fault_injector();
+  return injector != nullptr ? injector->stats() : mpi::FaultStats{};
 }
 
 }  // namespace dnnd::comm

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "mpi/fault_injector.hpp"
 #include "mpi/world.hpp"
 
 namespace dnnd::comm {
@@ -39,6 +40,12 @@ struct Config {
   std::size_t send_buffer_bytes = 64 * 1024;
   /// Base seed; engines derive per-rank streams from it.
   std::uint64_t seed = 42;
+  /// Fault schedule for the transport. The default (empty) plan installs
+  /// nothing: the transport stays perfectly reliable and the communicators
+  /// skip the retry/dedup protocol entirely.
+  mpi::FaultPlan fault_plan;
+  /// Retry/dedup protocol knobs; only consulted when fault_plan is active.
+  RetryConfig retry;
 };
 
 class Environment {
@@ -81,6 +88,13 @@ class Environment {
 
   /// Send-side message statistics merged over all ranks.
   [[nodiscard]] MessageStats aggregate_stats() const;
+
+  /// Retry/dedup protocol counters merged over all ranks (all zero when
+  /// the fault plan is empty).
+  [[nodiscard]] TransportCounters aggregate_transport_counters() const;
+
+  /// Injector event counts; zeros when no fault plan is installed.
+  [[nodiscard]] mpi::FaultStats fault_stats() const;
 
   /// Resets every rank's message counters (between experiment sections).
   void reset_stats();

@@ -225,6 +225,13 @@ class DnndEngine {
   /// reversed entries to the owners of the referenced vertices. The
   /// destination order is shuffled (§4.2) to avoid all ranks draining
   /// toward the same destination at once.
+  ///
+  /// Entries are visited in canonical (distance, id) order, not internal
+  /// heap order: heap layout depends on insertion order, which varies with
+  /// message-delivery schedule (threaded driver, fault injection). Pinning
+  /// the visit order makes the sampled subset — and hence the whole build —
+  /// a function of list *content* only, so any two schedules that deliver
+  /// the same messages produce the same graph.
   void sample_and_emit_reverse() {
     const std::size_t sample_k = scaled_sample_k();
     old_ids_.clear();
@@ -241,9 +248,17 @@ class DnndEngine {
 
     for (const VertexId v : points_.ids()) {
       auto entries = lists_.at(v).entries();
+      std::vector<std::size_t> order(entries.size());
+      for (std::size_t e = 0; e < entries.size(); ++e) order[e] = e;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return entries[a].distance < entries[b].distance ||
+                         (entries[a].distance == entries[b].distance &&
+                          entries[a].id < entries[b].id);
+                });
       std::vector<std::size_t> fresh;
       auto& old_list = old_ids_[v];
-      for (std::size_t e = 0; e < entries.size(); ++e) {
+      for (const std::size_t e : order) {
         if (entries[e].is_new) {
           fresh.push_back(e);
         } else {
@@ -448,6 +463,12 @@ class DnndEngine {
 
   void merge_sample(std::vector<VertexId>& dst, std::vector<VertexId>& rev,
                     std::size_t sample_k) {
+    // Reversed entries accumulate in arrival order, which is a property of
+    // the delivery schedule, not of the algorithm. Sort before sampling so
+    // the rng draw is applied to a canonical order and the merge result is
+    // schedule-independent (entries are distinct: each center emits one
+    // reverse entry per neighbor).
+    std::sort(rev.begin(), rev.end());
     util::shuffle(rev.begin(), rev.end(), rng_);
     const std::size_t take = std::min(sample_k, rev.size());
     for (std::size_t i = 0; i < take; ++i) {

@@ -369,7 +369,16 @@ class DnndRunner {
     std::vector<double> before(static_cast<std::size_t>(env_->num_ranks()));
     for (int r = 0; r < env_->num_ranks(); ++r) before[at(r)] = work_of(r);
     util::Timer timer;
-    env_->execute_phase([&](int r) { fn(r); });
+    try {
+      env_->execute_phase([&](int r) { fn(r); });
+    } catch (const comm::TransportError& e) {
+      // Retry exhaustion in the fault-injected transport: surface it with
+      // the phase it interrupted so callers can tell a failed barrier from
+      // an algorithmic error. The build is not resumable past this point.
+      throw comm::TransportError(
+          std::string("DNND phase '") + label + "' aborted: " + e.what(),
+          e.source(), e.dest(), e.seq(), e.attempts());
+    }
     const double wall = timer.elapsed_s();
     double max_delta = 0, sum_delta = 0;
     for (int r = 0; r < env_->num_ranks(); ++r) {

@@ -1,0 +1,115 @@
+#include "mpi/fault_injector.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "mpi/world.hpp"
+
+namespace dnnd::mpi {
+
+FaultInjector::FaultInjector(FaultPlan plan, int num_ranks)
+    : plan_(std::move(plan)), num_ranks_(num_ranks), rng_(plan_.seed) {
+  if (num_ranks < 1) {
+    throw std::invalid_argument("FaultInjector: num_ranks < 1");
+  }
+  const auto n = static_cast<std::size_t>(num_ranks);
+  edge_policies_.assign(n * n, plan_.defaults);
+  for (const auto& o : plan_.overrides) {
+    for (int s = 0; s < num_ranks; ++s) {
+      if (o.source != -1 && o.source != s) continue;
+      for (int d = 0; d < num_ranks; ++d) {
+        if (o.dest != -1 && o.dest != d) continue;
+        edge_policies_[static_cast<std::size_t>(s) * n +
+                       static_cast<std::size_t>(d)] = o.policy;
+      }
+    }
+  }
+  rank_states_.resize(n);
+}
+
+const EdgePolicy& FaultInjector::policy_for(int source, int dest) const {
+  static const EdgePolicy kClean{};
+  if (source < 0 || source >= num_ranks_) return kClean;  // raw test traffic
+  if (source == dest && !plan_.fault_self_edges) return kClean;
+  return edge_policies_[static_cast<std::size_t>(source) *
+                            static_cast<std::size_t>(num_ranks_) +
+                        static_cast<std::size_t>(dest)];
+}
+
+void FaultInjector::route(int dest, Datagram&& datagram,
+                          const DeliverFn& deliver) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.posted;
+  const EdgePolicy& policy = policy_for(datagram.source, dest);
+
+  if (policy.drop > 0.0 && rng_.bernoulli(policy.drop)) {
+    ++stats_.dropped;
+    return;
+  }
+  int copies = 1;
+  if (policy.duplicate > 0.0 && rng_.bernoulli(policy.duplicate)) {
+    copies = 2;
+    ++stats_.duplicated;
+    if (datagram.kind == DatagramKind::kData) ++stats_.duplicated_data;
+  }
+  auto& state = rank_states_[static_cast<std::size_t>(dest)];
+  for (int c = 0; c < copies; ++c) {
+    const bool front = policy.reorder > 0.0 && rng_.bernoulli(policy.reorder);
+    if (front) ++stats_.reordered;
+    std::uint32_t delay_ticks = 0;
+    if (policy.delay > 0.0 && rng_.bernoulli(policy.delay)) {
+      delay_ticks = 1 + static_cast<std::uint32_t>(rng_.uniform_below(
+                            std::max<std::uint32_t>(1, policy.max_delay_ticks)));
+      ++stats_.delayed;
+    }
+    Datagram copy = (c + 1 < copies) ? datagram : std::move(datagram);
+    if (delay_ticks == 0) {
+      deliver(dest, std::move(copy), front);
+    } else {
+      state.delayed.push_back(Delayed{state.tick + delay_ticks, front,
+                                      std::make_unique<Datagram>(std::move(copy))});
+    }
+  }
+}
+
+bool FaultInjector::on_collect(int rank, const DeliverFn& deliver) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& state = rank_states_[static_cast<std::size_t>(rank)];
+  ++state.tick;
+
+  if (state.tick < state.stalled_until) {
+    ++stats_.stall_ticks;
+    return true;
+  }
+  if (plan_.stall > 0.0 && rng_.bernoulli(plan_.stall)) {
+    state.stalled_until =
+        state.tick + 1 +
+        rng_.uniform_below(std::max<std::uint32_t>(1, plan_.max_stall_ticks));
+    ++stats_.stalls_entered;
+    ++stats_.stall_ticks;
+    return true;
+  }
+  // Release matured datagrams in insertion order (deterministic under the
+  // sequential driver); the rest shift down and keep their order.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < state.delayed.size(); ++i) {
+    if (state.delayed[i].release_tick <= state.tick) {
+      ++stats_.released;
+      deliver(rank, std::move(*state.delayed[i].datagram),
+              state.delayed[i].front);
+    } else {
+      if (kept != i) state.delayed[kept] = std::move(state.delayed[i]);
+      ++kept;
+    }
+  }
+  state.delayed.resize(kept);
+  return false;
+}
+
+FaultStats FaultInjector::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace dnnd::mpi

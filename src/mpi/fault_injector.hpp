@@ -1,0 +1,156 @@
+// Deterministic fault injection for the simulated transport.
+//
+// The World is normally a perfectly reliable, in-order network, so the
+// YGM-style quiescence protocol was never exercised under the conditions a
+// real MVAPICH2/Omni-Path deployment produces: delayed, reordered,
+// duplicated, and lost datagrams, and ranks that stop making progress for
+// a while. The FaultInjector interposes on World::post / World::try_collect
+// and perturbs the datagram stream according to a FaultPlan.
+//
+// Every decision is drawn from one seeded xoshiro256** stream
+// (util::Xoshiro256), so under the sequential driver a fault schedule is a
+// pure function of (plan.seed, workload) and any failing run is replayable
+// from its printed seed alone. Under the threaded driver the schedule also
+// depends on thread interleaving; the protocol invariants (exactly-once
+// delivery to handlers, true quiescence fixpoint) still hold and are what
+// the chaos tests assert there.
+//
+// Time is counted in *ticks*: one tick per try_collect call on a rank,
+// i.e. per polling step of that rank's drain loop. Delay and stall
+// durations are expressed in the destination rank's ticks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dnnd::mpi {
+
+struct Datagram;
+
+/// Per-edge fault probabilities. All independent Bernoulli draws per
+/// datagram; `delay`/`reorder` apply to each delivered copy.
+struct EdgePolicy {
+  double drop = 0.0;       ///< P(datagram is lost entirely)
+  double duplicate = 0.0;  ///< P(datagram is delivered twice)
+  double delay = 0.0;      ///< P(a delivered copy is held back)
+  double reorder = 0.0;    ///< P(a delivered copy jumps the mailbox queue)
+  std::uint32_t max_delay_ticks = 8;  ///< delays drawn uniform in [1, max]
+
+  [[nodiscard]] bool active() const noexcept {
+    return drop > 0.0 || duplicate > 0.0 || delay > 0.0 || reorder > 0.0;
+  }
+};
+
+/// Overrides the default policy for matching edges; -1 matches any rank.
+struct EdgeOverride {
+  int source = -1;
+  int dest = -1;
+  EdgePolicy policy;
+};
+
+/// A complete, replayable fault schedule description.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  EdgePolicy defaults;
+  std::vector<EdgeOverride> overrides;
+
+  /// P(a rank enters a stall at any tick); stalled ranks observe an empty
+  /// mailbox and hold back matured delayed datagrams until the stall ends.
+  double stall = 0.0;
+  std::uint32_t max_stall_ticks = 16;  ///< stall lengths uniform in [1, max]
+
+  /// Faults on self-edges (source == dest) are off by default: local
+  /// messages never cross the simulated network.
+  bool fault_self_edges = false;
+
+  /// Installs the injector (and thereby enables the communicator's
+  /// retry/dedup protocol) even when every probability is zero — used to
+  /// measure protocol overhead in isolation.
+  bool force_protocol = false;
+
+  /// True when installing this plan would be a no-op; Environment skips
+  /// injector creation entirely so the fault-free path stays zero-overhead.
+  [[nodiscard]] bool empty() const noexcept {
+    if (force_protocol || stall > 0.0) return false;
+    if (defaults.active()) return false;
+    for (const auto& o : overrides) {
+      if (o.policy.active()) return false;
+    }
+    return true;
+  }
+};
+
+/// Event counters, all cumulative since construction. `data_posted` counts
+/// post() calls seen by the injector (including protocol acks and
+/// retransmissions, which go through the same faulty pipe).
+struct FaultStats {
+  std::uint64_t posted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  /// Subset of `duplicated` that hit kData datagrams. Acks are unsequenced
+  /// (idempotent, never deduped), so this is the count the communicator's
+  /// duplicates_suppressed counter can be checked against.
+  std::uint64_t duplicated_data = 0;
+  std::uint64_t delayed = 0;
+  std::uint64_t reordered = 0;
+  std::uint64_t stalls_entered = 0;
+  std::uint64_t stall_ticks = 0;
+  std::uint64_t released = 0;  ///< delayed datagrams handed back to mailboxes
+};
+
+class FaultInjector {
+ public:
+  /// `deliver(dest, datagram, front)` enqueues into a mailbox, at the back
+  /// or (front=true) ahead of everything already queued.
+  using DeliverFn = std::function<void(int, Datagram&&, bool front)>;
+
+  FaultInjector(FaultPlan plan, int num_ranks);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// World::post hook: decides this datagram's fate and delivers the
+  /// immediate copies via `deliver`; delayed copies are parked internally.
+  void route(int dest, Datagram&& datagram, const DeliverFn& deliver);
+
+  /// World::try_collect hook: advances `rank`'s tick clock, releases
+  /// matured delayed datagrams via `deliver`, and returns true when the
+  /// rank is stalled (its mailbox must appear empty this tick).
+  bool on_collect(int rank, const DeliverFn& deliver);
+
+  [[nodiscard]] FaultStats stats() const;
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+
+ private:
+  struct Delayed {
+    std::uint64_t release_tick;
+    bool front;
+    // Stored indirectly so the struct stays movable without including the
+    // full Datagram definition here.
+    std::unique_ptr<Datagram> datagram;
+  };
+  struct RankState {
+    std::uint64_t tick = 0;
+    std::uint64_t stalled_until = 0;  ///< stalled while tick < stalled_until
+    std::vector<Delayed> delayed;     ///< unsorted; scanned on release
+  };
+
+  [[nodiscard]] const EdgePolicy& policy_for(int source, int dest) const;
+
+  FaultPlan plan_;
+  int num_ranks_;
+  /// Resolved per-edge policies, row-major [source * num_ranks + dest].
+  std::vector<EdgePolicy> edge_policies_;
+
+  mutable std::mutex mutex_;
+  util::Xoshiro256 rng_;
+  std::vector<RankState> rank_states_;
+  FaultStats stats_;
+};
+
+}  // namespace dnnd::mpi

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "mpi/fault_injector.hpp"
+
 namespace dnnd::mpi {
 
 World::World(int num_ranks) : num_ranks_(num_ranks) {
@@ -13,18 +15,48 @@ World::World(int num_ranks) : num_ranks_(num_ranks) {
   }
 }
 
-void World::post(int dest, Datagram&& datagram) {
-  assert(dest >= 0 && dest < num_ranks_);
+World::~World() = default;
+
+void World::install_fault_injector(std::unique_ptr<FaultInjector> injector) {
+  if (datagrams_.load(std::memory_order_relaxed) != 0) {
+    throw std::logic_error(
+        "World: fault injector must be installed before any traffic");
+  }
+  injector_ = std::move(injector);
+}
+
+void World::enqueue(int dest, Datagram&& datagram, bool front) {
   auto& box = *mailboxes_[static_cast<std::size_t>(dest)];
-  {
-    const std::lock_guard<std::mutex> lock(box.mutex);
+  const std::lock_guard<std::mutex> lock(box.mutex);
+  if (front) {
+    box.queue.push_front(std::move(datagram));
+  } else {
     box.queue.push_back(std::move(datagram));
   }
+}
+
+void World::post(int dest, Datagram&& datagram) {
+  assert(dest >= 0 && dest < num_ranks_);
   datagrams_.fetch_add(1, std::memory_order_relaxed);
+  if (injector_ == nullptr) {
+    enqueue(dest, std::move(datagram), /*front=*/false);
+    return;
+  }
+  injector_->route(dest, std::move(datagram),
+                   [this](int to, Datagram&& d, bool front) {
+                     enqueue(to, std::move(d), front);
+                   });
 }
 
 bool World::try_collect(int rank, Datagram& out) {
   assert(rank >= 0 && rank < num_ranks_);
+  if (injector_ != nullptr) {
+    const bool stalled =
+        injector_->on_collect(rank, [this](int to, Datagram&& d, bool front) {
+          enqueue(to, std::move(d), front);
+        });
+    if (stalled) return false;
+  }
   auto& box = *mailboxes_[static_cast<std::size_t>(rank)];
   const std::lock_guard<std::mutex> lock(box.mutex);
   if (box.queue.empty()) return false;

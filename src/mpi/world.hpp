@@ -22,10 +22,20 @@
 
 namespace dnnd::mpi {
 
+class FaultInjector;
+
+/// Wire-level datagram type: payload-carrying data vs. protocol
+/// acknowledgements (only emitted when the retry/dedup protocol is active).
+enum class DatagramKind : std::uint8_t { kData = 0, kAck = 1 };
+
 /// One transport-level datagram. A datagram may carry several application
 /// messages packed back-to-back by the communicator's send buffering.
 struct Datagram {
   int source = -1;
+  DatagramKind kind = DatagramKind::kData;
+  /// Reliable-channel sequence number, per (source → dest) channel and
+  /// starting at 1. 0 means unsequenced (protocol off, or an ack).
+  std::uint64_t seq = 0;
   /// Number of application-level messages packed in `payload`; the World
   /// tracks these for termination detection.
   std::uint32_t message_count = 0;
@@ -40,6 +50,7 @@ struct Datagram {
 class World {
  public:
   explicit World(int num_ranks);
+  ~World();  // out-of-line: FaultInjector is incomplete here
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -49,10 +60,26 @@ class World {
   /// Enqueues a datagram into `dest`'s mailbox.
   /// Pre: 0 <= dest < size(), datagram.message_count messages were
   /// previously announced via note_messages_submitted().
+  /// With a fault injector installed the datagram may instead be dropped,
+  /// duplicated, delayed, or queue-jumped — the communicator's retry/dedup
+  /// protocol is what restores exactly-once semantics on top.
   void post(int dest, Datagram&& datagram);
 
   /// Pops one datagram from `rank`'s mailbox. Returns false if empty.
+  /// With a fault injector installed this also advances `rank`'s tick
+  /// clock (releasing matured delayed datagrams) and honors rank stalls.
   bool try_collect(int rank, Datagram& out);
+
+  /// Installs a fault injector. Must be called before any traffic flows;
+  /// communicators built on this World check faulty() at construction to
+  /// decide whether to run the retry/dedup protocol.
+  void install_fault_injector(std::unique_ptr<FaultInjector> injector);
+
+  /// Null when the transport is perfectly reliable (the default).
+  [[nodiscard]] FaultInjector* fault_injector() noexcept {
+    return injector_.get();
+  }
+  [[nodiscard]] bool faulty() const noexcept { return injector_ != nullptr; }
 
   [[nodiscard]] bool mailbox_empty(int rank) const;
 
@@ -92,8 +119,11 @@ class World {
     std::deque<Datagram> queue;
   };
 
+  void enqueue(int dest, Datagram&& datagram, bool front);
+
   int num_ranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::unique_ptr<FaultInjector> injector_;
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> processed_{0};
   std::atomic<std::uint64_t> datagrams_{0};

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "mpi/threaded_driver.hpp"
@@ -129,6 +130,92 @@ TEST(ThreadedDriver, DrainsMessageChains) {
   EXPECT_TRUE(world.quiescent());
   EXPECT_EQ(handled.load(),
             static_cast<std::uint64_t>(kRanks * kInitialPerRank * (kHops + 1)));
+}
+
+// -- Counter semantics under concurrency -------------------------------------
+
+TEST(WorldCounters, ProcessedNeverExceedsSubmittedUnderThreads) {
+  // The termination invariant: processed() can never be observed above
+  // submitted(). The observer reads processed *first*, then submitted —
+  // with submission-first counting that order bounds p <= s under every
+  // interleaving; a post-first (or buffered-but-uncounted) protocol would
+  // let the observer catch p > s or a spurious quiescent() mid-chain.
+  constexpr int kRanks = 4;
+  constexpr int kChains = 16;
+  constexpr int kHops = 20;
+  World world(kRanks);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+  std::thread observer([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t p = world.processed();
+      const std::uint64_t s = world.submitted();
+      if (p > s) violations.fetch_add(1);
+    }
+  });
+
+  auto send_hop = [&](int from, int hops_left) {
+    Datagram d;
+    d.source = from;
+    d.message_count = 1;
+    d.payload.resize(sizeof(int));
+    std::memcpy(d.payload.data(), &hops_left, sizeof(int));
+    world.note_messages_submitted(1);
+    // Widen the submitted-but-not-yet-visible window the counters must
+    // cover (a real communicator buffers sends here).
+    std::this_thread::yield();
+    world.post((from + 1) % kRanks, std::move(d));
+  };
+  std::atomic<std::uint64_t> handled{0};
+  auto process = [&](int rank) -> std::size_t {
+    Datagram d;
+    std::size_t n = 0;
+    while (world.try_collect(rank, d)) {
+      int hops = 0;
+      std::memcpy(&hops, d.payload.data(), sizeof(int));
+      if (hops > 0) send_hop(rank, hops - 1);
+      handled.fetch_add(1);
+      world.note_messages_processed(1);
+      ++n;
+    }
+    return n;
+  };
+
+  dnnd::mpi::run_threaded_phase(
+      world, kRanks,
+      [&](int rank) {
+        for (int i = 0; i < kChains; ++i) send_hop(rank, kHops);
+      },
+      [](int) {}, process);
+
+  stop.store(true, std::memory_order_release);
+  observer.join();
+
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_TRUE(world.quiescent());
+  // The barrier completed only after the *entire* chain volume drained: no
+  // spurious fixpoint cut a chain short.
+  EXPECT_EQ(handled.load(),
+            static_cast<std::uint64_t>(kRanks * kChains * (kHops + 1)));
+  EXPECT_EQ(world.submitted(), world.processed());
+}
+
+TEST(WorldCounters, SubmissionCountingClosesTheBufferingWindow) {
+  // A message can be submitted (counted) long before its datagram is
+  // posted. Quiescence must read false for the whole gap, else a driver
+  // polling during it would exit its barrier with the message in flight.
+  World world(2);
+  EXPECT_TRUE(world.quiescent());
+  world.note_messages_submitted(1);  // handed to the communicator...
+  EXPECT_FALSE(world.quiescent());   // ...sitting in a send buffer
+  world.post(1, make_datagram(0, 1, "late"));
+  EXPECT_FALSE(world.quiescent());  // on the wire
+  Datagram out;
+  ASSERT_TRUE(world.try_collect(1, out));
+  EXPECT_FALSE(world.quiescent());  // collected, handler not yet run
+  world.note_messages_processed(1);
+  EXPECT_TRUE(world.quiescent());
 }
 
 TEST(ThreadedDriver, PropagatesPhaseExceptions) {

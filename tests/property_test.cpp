@@ -239,6 +239,153 @@ TEST_P(ArchiveRoundTrip, RandomMessageSequences) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ArchiveRoundTrip, ::testing::Values(31, 32));
 
+TEST_P(ArchiveRoundTrip, WideTypeMixWithEmptyPayloads) {
+  // Full codec surface in random interleavings, with empty vectors and
+  // empty strings appearing often (they exercise the zero-length varint
+  // path that fixed-size fields never touch).
+  util::Xoshiro256 rng(GetParam() * 1000003);
+  for (int trial = 0; trial < 200; ++trial) {
+    serial::OutArchive out;
+    std::vector<int> kinds;
+    std::vector<std::uint8_t> u8s;
+    std::vector<std::uint16_t> u16s;
+    std::vector<std::int32_t> i32s;
+    std::vector<double> doubles;
+    std::vector<std::string> strings;
+    std::vector<std::vector<float>> fvecs;
+    const int fields = static_cast<int>(rng.uniform_below(16));  // may be 0
+    for (int f = 0; f < fields; ++f) {
+      const int kind = static_cast<int>(rng.uniform_below(6));
+      kinds.push_back(kind);
+      switch (kind) {
+        case 0:
+          u8s.push_back(static_cast<std::uint8_t>(rng()));
+          out.write(u8s.back());
+          break;
+        case 1:
+          u16s.push_back(static_cast<std::uint16_t>(rng()));
+          out.write(u16s.back());
+          break;
+        case 2:
+          i32s.push_back(static_cast<std::int32_t>(rng()));
+          out.write(i32s.back());
+          break;
+        case 3:
+          doubles.push_back(rng.uniform_double());
+          out.write(doubles.back());
+          break;
+        case 4: {  // string, often empty
+          std::string s(rng.uniform_below(3) == 0 ? 0 : rng.uniform_below(40),
+                        '\0');
+          for (auto& ch : s) ch = static_cast<char>('a' + rng.uniform_below(26));
+          strings.push_back(s);
+          out.write_string(s);
+          break;
+        }
+        case 5: {  // float vector, often empty
+          std::vector<float> v(rng.uniform_below(3) == 0
+                                   ? 0
+                                   : rng.uniform_below(32));
+          for (auto& x : v) x = rng.uniform_float(-1.0f, 1.0f);
+          fvecs.push_back(v);
+          out.write_vector(v);
+          break;
+        }
+      }
+    }
+    serial::InArchive in(out.bytes());
+    std::size_t n0 = 0, n1 = 0, n2 = 0, n3 = 0, n4 = 0, n5 = 0;
+    for (const int kind : kinds) {
+      switch (kind) {
+        case 0: ASSERT_EQ(in.read<std::uint8_t>(), u8s[n0++]); break;
+        case 1: ASSERT_EQ(in.read<std::uint16_t>(), u16s[n1++]); break;
+        case 2: ASSERT_EQ(in.read<std::int32_t>(), i32s[n2++]); break;
+        case 3: ASSERT_EQ(in.read<double>(), doubles[n3++]); break;
+        case 4: ASSERT_EQ(in.read_string(), strings[n4++]); break;
+        case 5: ASSERT_EQ(in.read_vector<float>(), fvecs[n5++]); break;
+      }
+    }
+    ASSERT_TRUE(in.empty()) << "trial " << trial << " seed " << GetParam();
+  }
+}
+
+TEST_P(ArchiveRoundTrip, PackUnpackTupleMatches) {
+  util::Xoshiro256 rng(GetParam() * 7919);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto a = rng();
+    const auto b = rng.uniform_float(-1e3f, 1e3f);
+    std::vector<std::uint32_t> c(rng.uniform_below(20));
+    for (auto& x : c) x = static_cast<std::uint32_t>(rng());
+    std::string d(rng.uniform_below(15), 'x');
+
+    serial::OutArchive out;
+    serial::pack(out, a, b, c, d);
+    serial::InArchive in(out.bytes());
+    const auto [ra, rb, rc, rd] =
+        serial::unpack<std::uint64_t, float, std::vector<std::uint32_t>,
+                       std::string>(in);
+    ASSERT_EQ(ra, a);
+    ASSERT_EQ(rb, b);
+    ASSERT_EQ(rc, c);
+    ASSERT_EQ(rd, d);
+    ASSERT_TRUE(in.empty());
+  }
+}
+
+TEST_P(ArchiveRoundTrip, PayloadsBeyondSendBufferSizeSurvive) {
+  // Single messages larger than the communicator's 64 KiB flush threshold
+  // must round-trip bit-exactly: the transport ships them as one datagram,
+  // so the archive layer is the only place they could be split or clipped.
+  util::Xoshiro256 rng(GetParam() * 104729);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = (64u << 10) + rng.uniform_below(192u << 10);
+    std::vector<std::uint8_t> big(n);
+    for (auto& x : big) x = static_cast<std::uint8_t>(rng());
+    std::vector<float> feats(20000 + rng.uniform_below(20000));
+    for (auto& x : feats) x = rng.uniform_float(-1e6f, 1e6f);
+
+    serial::OutArchive out;
+    out.write(std::uint32_t{0xfeedbeef});
+    out.write_vector(big);
+    out.write_vector(feats);
+    out.write(std::uint8_t{42});
+    ASSERT_GT(out.size(), 64u << 10);
+
+    serial::InArchive in(out.bytes());
+    ASSERT_EQ(in.read<std::uint32_t>(), 0xfeedbeefu);
+    ASSERT_EQ(in.read_vector<std::uint8_t>(), big);
+    ASSERT_EQ(in.read_vector<float>(), feats);
+    ASSERT_EQ(in.read<std::uint8_t>(), 42u);
+    ASSERT_TRUE(in.empty());
+  }
+}
+
+TEST_P(ArchiveRoundTrip, TruncatedBuffersThrowNotCorrupt) {
+  // Any prefix-truncation of a valid archive must surface ArchiveError
+  // from some read — never a silent wrong value past the end.
+  util::Xoshiro256 rng(GetParam() * 613);
+  for (int trial = 0; trial < 50; ++trial) {
+    serial::OutArchive out;
+    std::vector<std::uint8_t> blob(1 + rng.uniform_below(300));
+    for (auto& x : blob) x = static_cast<std::uint8_t>(rng());
+    out.write(rng());
+    out.write_vector(blob);
+    out.write(rng());
+
+    const auto bytes = out.bytes();
+    const std::size_t cut = rng.uniform_below(bytes.size());  // strict prefix
+    serial::InArchive in(bytes.subspan(0, cut));
+    ASSERT_THROW(
+        {
+          in.read<std::uint64_t>();
+          in.read_vector<std::uint8_t>();
+          in.read<std::uint64_t>();
+        },
+        serial::ArchiveError)
+        << "cut=" << cut << " seed " << GetParam();
+  }
+}
+
 // ---------------------------------------------------------------------------
 // DNND end-to-end invariants over a configuration grid.
 // ---------------------------------------------------------------------------

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Chaos-test driver: builds the repo and runs the `chaos`-labelled suite
+# (full DNND builds over a matrix of engine seeds x fault plans x drivers).
+#
+# Usage:
+#   tests/run_chaos.sh                 # run the whole chaos matrix
+#   tests/run_chaos.sh -s 12 -p drop_heavy
+#                                      # replay one combination (the values
+#                                      # printed by a failing run's
+#                                      # "replay:" trace line)
+#   DNND_SANITIZE=thread tests/run_chaos.sh
+#                                      # same matrix under TSan
+#
+# Each failing assertion prints `replay: DNND_CHAOS_SEED=<s>
+# DNND_CHAOS_PLAN=<name>`; feeding those back via -s/-p reruns exactly that
+# schedule — it is a pure function of the two seeds, no log capture needed.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+seed=""
+plan=""
+while getopts "s:p:h" opt; do
+  case "$opt" in
+    s) seed="$OPTARG" ;;
+    p) plan="$OPTARG" ;;
+    h)
+      sed -n '2,16p' "$0"
+      exit 0
+      ;;
+    *) exit 2 ;;
+  esac
+done
+
+build_dir="build"
+cmake_args=(-B "$build_dir" -S .)
+if [[ -n "${DNND_SANITIZE:-}" ]]; then
+  build_dir="build-${DNND_SANITIZE}"
+  cmake_args=(-B "$build_dir" -S . "-DDNND_SANITIZE=${DNND_SANITIZE}")
+fi
+
+cmake "${cmake_args[@]}"
+cmake --build "$build_dir" -j --target test_chaos test_fault_injection
+
+if [[ -n "$seed" ]]; then export DNND_CHAOS_SEED="$seed"; fi
+if [[ -n "$plan" ]]; then export DNND_CHAOS_PLAN="$plan"; fi
+
+cd "$build_dir"
+ctest -L chaos --output-on-failure -j "$(nproc)"
