@@ -124,6 +124,14 @@ int build_typed(const core::FeatureStore<T>& base, const std::string& store,
            sizeof(core::Neighbor)) *
           4 +
       (64 << 20);
+  // Telemetry artifacts ride along with the datastore: merged per-rank
+  // metrics plus a Chrome trace of the build's phase timeline (load the
+  // latter in chrome://tracing). With DNND_TELEMETRY=OFF both files are
+  // still written as valid-but-empty documents.
+  env.export_telemetry(store + ".metrics.json", store + ".trace.json");
+  std::printf("telemetry: %s.metrics.json, %s.trace.json\n", store.c_str(),
+              store.c_str());
+
   auto mgr = pmem::Manager::create(store, bytes);
   core::store_graph(mgr, runner.gather(), "knng");
   core::store_features(mgr, base, "points");

@@ -21,11 +21,17 @@ Communicator::Communicator(mpi::World& world, int rank,
     send_channels_.resize(static_cast<std::size_t>(world.size()));
     recv_channels_.resize(static_cast<std::size_t>(world.size()));
   }
+  g_inbox_depth_ = telemetry_.gauge("comm.inbox_depth");
+  c_retransmits_ = telemetry_.counter("comm.retransmits");
+  c_duplicates_ = telemetry_.counter("comm.duplicates_suppressed");
+  c_acks_sent_ = telemetry_.counter("comm.acks_sent");
+  c_acks_received_ = telemetry_.counter("comm.acks_received");
 }
 
 HandlerId Communicator::register_handler(std::string label, HandlerFn fn) {
   const auto id = static_cast<HandlerId>(handlers_.size());
   stats_.add_handler(label);
+  recv_counters_.push_back(telemetry_.counter("comm.recv." + label));
   handlers_.push_back(Handler{std::move(label), std::move(fn)});
   return id;
 }
@@ -59,6 +65,12 @@ void Communicator::flush_to(int dest) {
 }
 
 std::size_t Communicator::process_available(std::size_t max_datagrams) {
+  if constexpr (telemetry::kEnabled) {
+    // Inbox-depth probe takes the mailbox mutex; keep it out of
+    // DNND_TELEMETRY=OFF builds entirely.
+    telemetry_.set(g_inbox_depth_,
+                   static_cast<std::int64_t>(world_->mailbox_depth(rank_)));
+  }
   std::size_t messages = 0;
   mpi::Datagram datagram;
   for (std::size_t i = 0; i < max_datagrams; ++i) {
@@ -78,6 +90,7 @@ bool Communicator::reliable_receive(const mpi::Datagram& datagram) {
   const auto src = static_cast<std::size_t>(datagram.source);
   if (datagram.kind == mpi::DatagramKind::kAck) {
     ++transport_.acks_received;
+    telemetry_.add(c_acks_received_);
     serial::InArchive ar(datagram.payload);
     auto& channel = send_channels_[src];
     const std::uint64_t cumulative = ar.read_size();
@@ -94,6 +107,7 @@ bool Communicator::reliable_receive(const mpi::Datagram& datagram) {
   if (datagram.seq <= channel.cumulative ||
       channel.out_of_order.contains(datagram.seq)) {
     ++transport_.duplicates_suppressed;
+    telemetry_.add(c_duplicates_);
     return false;
   }
   channel.out_of_order.insert(datagram.seq);
@@ -119,6 +133,7 @@ void Communicator::send_pending_acks() {
     ack.payload = ar.release();
     world_->post(src, std::move(ack));
     ++transport_.acks_sent;
+    telemetry_.add(c_acks_sent_);
   }
 }
 
@@ -144,6 +159,7 @@ void Communicator::drive_retransmits() {
       world_->post(dest, std::move(copy));
       ++pending.attempts;
       ++transport_.retransmits;
+      telemetry_.add(c_retransmits_);
       pending.backoff =
           std::min(pending.backoff * 2, retry_.max_backoff_ticks);
       pending.retry_at = tick_ + pending.backoff;
@@ -160,6 +176,7 @@ void Communicator::dispatch(const mpi::Datagram& datagram) {
       throw std::runtime_error("Communicator: unknown handler id");
     }
     handlers_[handler_id].fn(datagram.source, archive);
+    telemetry_.add(recv_counters_[handler_id]);
     // Count each message as processed only after its handler returned, so
     // the quiescence test cannot pass while a handler (which may itself
     // send) is still running.

@@ -45,6 +45,7 @@
 #include "comm/message_stats.hpp"
 #include "mpi/world.hpp"
 #include "serial/archive.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace dnnd::comm {
 
@@ -174,6 +175,17 @@ class Communicator {
   [[nodiscard]] MessageStats& stats() noexcept { return stats_; }
   [[nodiscard]] const MessageStats& stats() const noexcept { return stats_; }
 
+  /// Per-rank telemetry sink (metrics + trace). Engines and services
+  /// built on this communicator register their metrics here so one merge
+  /// per rank collects the whole stack. All methods are no-ops when the
+  /// library is built with DNND_TELEMETRY=OFF.
+  [[nodiscard]] telemetry::Telemetry& telemetry() noexcept {
+    return telemetry_;
+  }
+  [[nodiscard]] const telemetry::Telemetry& telemetry() const noexcept {
+    return telemetry_;
+  }
+
   [[nodiscard]] mpi::World& world() noexcept { return *world_; }
 
  private:
@@ -223,6 +235,15 @@ class Communicator {
   std::vector<Handler> handlers_;
   MessageStats stats_;
   std::uint64_t async_count_ = 0;
+
+  // -- telemetry (all recording no-ops under DNND_TELEMETRY=OFF) ---------
+  telemetry::Telemetry telemetry_;
+  std::vector<telemetry::MetricId> recv_counters_;  ///< per handler id
+  telemetry::MetricId g_inbox_depth_ = 0;
+  telemetry::MetricId c_retransmits_ = 0;
+  telemetry::MetricId c_duplicates_ = 0;
+  telemetry::MetricId c_acks_sent_ = 0;
+  telemetry::MetricId c_acks_received_ = 0;
 
   // -- retry/dedup protocol state (empty unless reliable_) ---------------
   bool reliable_ = false;

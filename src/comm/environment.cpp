@@ -1,8 +1,11 @@
 #include "comm/environment.hpp"
 
+#include <fstream>
 #include <stdexcept>
 
 #include "mpi/threaded_driver.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
 
 namespace dnnd::comm {
 
@@ -16,9 +19,12 @@ Environment::Environment(Config config) : config_(config) {
         config_.fault_plan, config_.num_ranks));
   }
   comms_.reserve(static_cast<std::size_t>(config_.num_ranks));
+  h_barrier_wait_.reserve(static_cast<std::size_t>(config_.num_ranks));
   for (int r = 0; r < config_.num_ranks; ++r) {
     comms_.push_back(std::make_unique<Communicator>(
         *world_, r, config_.send_buffer_bytes, config_.retry));
+    h_barrier_wait_.push_back(
+        comms_.back()->telemetry().histogram("comm.barrier_wait_us"));
   }
 }
 
@@ -42,9 +48,19 @@ void Environment::run_sequential(const std::function<void(int)>& fn) {
   // the schedule fair (and deterministic), mimicking ranks making
   // interleaved progress.
   constexpr std::size_t kBurst = 16;
+  util::Timer drain_timer;
   while (!world_->quiescent()) {
     for (auto& comm : comms_) comm->flush();
     for (auto& comm : comms_) comm->process_available(kBurst);
+  }
+  if constexpr (telemetry::kEnabled) {
+    // The sequential driver drains all ranks on one thread, so each rank
+    // is attributed the shared drain time (the cooperative-schedule
+    // equivalent of every rank sitting in the barrier together).
+    const double seconds = drain_timer.elapsed_s();
+    for (int r = 0; r < config_.num_ranks; ++r) {
+      record_barrier_wait(r, seconds);
+    }
   }
 }
 
@@ -55,7 +71,24 @@ void Environment::run_threaded(const std::function<void(int)>& fn) {
       [&](int rank) { comms_[static_cast<std::size_t>(rank)]->flush(); },
       [&](int rank) {
         return comms_[static_cast<std::size_t>(rank)]->process_available(16);
-      });
+      },
+      [&](int rank, double seconds) { record_barrier_wait(rank, seconds); });
+}
+
+void Environment::record_barrier_wait(int rank, double seconds) {
+  if constexpr (!telemetry::kEnabled) {
+    (void)rank;
+    (void)seconds;
+    return;
+  } else {
+    const auto r = static_cast<std::size_t>(rank);
+    const double us = seconds * 1e6;
+    comms_[r]->telemetry().record_clamped(h_barrier_wait_[r], us);
+    const std::uint64_t end = telemetry::now_us();
+    const auto dur = static_cast<std::uint64_t>(us);
+    comms_[r]->telemetry().add_trace_event(telemetry::TraceEvent{
+        "barrier_wait", "comm", end > dur ? end - dur : 0, dur, 0});
+  }
 }
 
 MessageStats Environment::aggregate_stats() const {
@@ -77,6 +110,66 @@ TransportCounters Environment::aggregate_transport_counters() const {
 mpi::FaultStats Environment::fault_stats() const {
   const auto* injector = world_->fault_injector();
   return injector != nullptr ? injector->stats() : mpi::FaultStats{};
+}
+
+telemetry::MetricsRegistry Environment::aggregate_metrics() const {
+  telemetry::MetricsRegistry merged;
+  for (const auto& comm : comms_) {
+    merged.merge(comm->telemetry().metrics());
+  }
+  return merged;
+}
+
+void Environment::write_metrics_json(std::ostream& os) const {
+  const MessageStats stats = aggregate_stats();
+  const TransportCounters transport = aggregate_transport_counters();
+  os << "{\"schema\":\"dnnd.metrics.v1\",\"enabled\":"
+     << (telemetry::kEnabled ? "true" : "false")
+     << ",\"ranks\":" << config_.num_ranks << ",\"handlers\":[";
+  bool first = true;
+  for (const auto& h : stats.handlers()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"label\":";
+    util::json::write_string(os, h.label);
+    os << ",\"remote_messages\":" << h.remote_messages
+       << ",\"remote_bytes\":" << h.remote_bytes
+       << ",\"local_messages\":" << h.local_messages
+       << ",\"local_bytes\":" << h.local_bytes << '}';
+  }
+  os << "],\"transport\":{\"retransmits\":" << transport.retransmits
+     << ",\"duplicates_suppressed\":" << transport.duplicates_suppressed
+     << ",\"acks_sent\":" << transport.acks_sent
+     << ",\"acks_received\":" << transport.acks_received << '}'
+     << ",\"metrics\":";
+  aggregate_metrics().write_json(os);
+  os << '}';
+}
+
+void Environment::write_chrome_trace(std::ostream& os) const {
+  std::vector<telemetry::RankTrace> ranks;
+  ranks.reserve(comms_.size());
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    ranks.push_back(telemetry::RankTrace{
+        r, &comms_[static_cast<std::size_t>(r)]->telemetry().trace()});
+  }
+  telemetry::write_chrome_trace(os, ranks);
+}
+
+void Environment::export_telemetry(const std::string& metrics_path,
+                                   const std::string& trace_path) const {
+  std::ofstream metrics(metrics_path);
+  if (!metrics) {
+    throw std::runtime_error("Environment: cannot open " + metrics_path);
+  }
+  write_metrics_json(metrics);
+  metrics << '\n';
+  std::ofstream trace(trace_path);
+  if (!trace) {
+    throw std::runtime_error("Environment: cannot open " + trace_path);
+  }
+  write_chrome_trace(trace);
+  trace << '\n';
 }
 
 }  // namespace dnnd::comm

@@ -24,9 +24,13 @@
 #include <numeric>
 #include <vector>
 
+#include <iosfwd>
+#include <string>
+
 #include "comm/communicator.hpp"
 #include "mpi/fault_injector.hpp"
 #include "mpi/world.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace dnnd::comm {
 
@@ -96,6 +100,33 @@ class Environment {
   /// Injector event counts; zeros when no fault plan is installed.
   [[nodiscard]] mpi::FaultStats fault_stats() const;
 
+  /// Per-rank telemetry sink (shorthand for comm(rank).telemetry()).
+  [[nodiscard]] telemetry::Telemetry& telemetry(int rank) {
+    return comm(rank).telemetry();
+  }
+
+  /// Metrics registries of all ranks merged by name (counters sum,
+  /// gauges max, histograms bucket-wise sum). Empty when the library is
+  /// built with DNND_TELEMETRY=OFF.
+  [[nodiscard]] telemetry::MetricsRegistry aggregate_metrics() const;
+
+  /// Writes the merged machine-readable metrics document:
+  ///   {"schema":"dnnd.metrics.v1","enabled":...,"ranks":N,
+  ///    "handlers":[per-label send counters],"transport":{...},
+  ///    "metrics":{merged registry}}
+  /// With DNND_TELEMETRY=OFF the document is still valid JSON (enabled
+  /// false, empty metrics) so downstream tooling never special-cases.
+  void write_metrics_json(std::ostream& os) const;
+
+  /// Writes all ranks' trace buffers as one Chrome trace (catapult JSON;
+  /// load in chrome://tracing or Perfetto). pid = rank, tid = driver
+  /// thread within the rank.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Convenience file form of the two exporters above.
+  void export_telemetry(const std::string& metrics_path,
+                        const std::string& trace_path) const;
+
   /// Resets every rank's message counters (between experiment sections).
   void reset_stats();
 
@@ -103,9 +134,14 @@ class Environment {
   void run_sequential(const std::function<void(int)>& fn);
   void run_threaded(const std::function<void(int)>& fn);
 
+  /// Records one barrier drain into rank `r`'s telemetry (histogram +
+  /// trace event). No-op under DNND_TELEMETRY=OFF.
+  void record_barrier_wait(int rank, double seconds);
+
   Config config_;
   std::unique_ptr<mpi::World> world_;
   std::vector<std::unique_ptr<Communicator>> comms_;
+  std::vector<telemetry::MetricId> h_barrier_wait_;  ///< per-rank histogram id
 };
 
 }  // namespace dnnd::comm

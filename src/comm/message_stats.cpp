@@ -1,6 +1,7 @@
 #include "comm/message_stats.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace dnnd::comm {
 
@@ -56,12 +57,21 @@ void MessageStats::merge(const MessageStats& other) {
   if (other.per_handler_.size() != per_handler_.size()) {
     throw std::invalid_argument("MessageStats::merge: handler registries differ");
   }
+  // Validate every label before mutating anything: a mismatch discovered
+  // mid-loop must not leave earlier counters already merged (strong
+  // exception guarantee, so callers can catch and keep using *this).
+  for (std::size_t i = 0; i < per_handler_.size(); ++i) {
+    if (per_handler_[i].label != other.per_handler_[i].label) {
+      throw std::invalid_argument(
+          "MessageStats::merge: handler label mismatch at id " +
+          std::to_string(i) + " ('" + per_handler_[i].label + "' vs '" +
+          other.per_handler_[i].label +
+          "'); registries must be registered in the same order");
+    }
+  }
   for (std::size_t i = 0; i < per_handler_.size(); ++i) {
     auto& dst = per_handler_[i];
     const auto& src = other.per_handler_[i];
-    if (dst.label != src.label) {
-      throw std::invalid_argument("MessageStats::merge: handler labels differ");
-    }
     dst.remote_messages += src.remote_messages;
     dst.remote_bytes += src.remote_bytes;
     dst.local_messages += src.local_messages;

@@ -55,7 +55,9 @@ class MessageStats {
   [[nodiscard]] std::uint64_t total_remote_bytes() const noexcept;
 
   /// Element-wise merge; handler lists must have been registered in the
-  /// same order on both sides (true for SPMD engines).
+  /// same order on both sides (true for SPMD engines). A registry size or
+  /// label mismatch throws std::invalid_argument *before* any counter is
+  /// touched, so a failed merge never leaves *this partially updated.
   void merge(const MessageStats& other);
 
   /// Zeroes all counters but keeps the handler registry.

@@ -58,6 +58,12 @@ class QueryEngineRank {
         partition_(std::move(partition)),
         rng_(util::Xoshiro256(0x9e3779b9) .fork(
             static_cast<std::uint64_t>(comm.rank()))) {
+    c_submitted_ = comm_->telemetry().counter("query.submitted");
+    c_completed_ = comm_->telemetry().counter("query.completed");
+    c_frontier_pops_ = comm_->telemetry().counter("query.frontier_pops");
+    c_distance_evals_ = comm_->telemetry().counter("query.distance_evals");
+    h_evals_per_query_ =
+        comm_->telemetry().histogram("query.distance_evals_per_query");
     register_handlers();
   }
 
@@ -93,6 +99,7 @@ class QueryEngineRank {
     state.params = params;
     state.best = NeighborList(params.num_neighbors);
 
+    comm_->telemetry().add(c_submitted_);
     const std::size_t entries =
         params.num_entry_points > 0 ? params.num_entry_points
                                     : params.num_neighbors;
@@ -160,6 +167,7 @@ class QueryEngineRank {
       const Dist d_max = state.best.furthest_distance();
       if (static_cast<double>(d) > slack * static_cast<double>(d_max)) break;
       state.frontier.pop();
+      comm_->telemetry().add(c_frontier_pops_);
       if (state.expanded.contains(v)) continue;
       state.expanded.insert(v);
       state.outstanding = 1;  // the row_reply
@@ -168,6 +176,8 @@ class QueryEngineRank {
       return;
     }
     // Done.
+    comm_->telemetry().add(c_completed_);
+    comm_->telemetry().record(h_evals_per_query_, state.distance_evals);
     SearchResult result;
     result.neighbors = state.best.sorted();
     result.distance_evals = state.distance_evals;
@@ -189,6 +199,7 @@ class QueryEngineRank {
                 points_->id_at(rng_.uniform_below(points_->size()));
             pairs.emplace_back(
                 u, distance_(std::span<const T>(scratch_), (*points_)[u]));
+            comm_->telemetry().add(c_distance_evals_);
           }
           send_eval_reply(static_cast<int>(coordinator), qid, pairs);
         });
@@ -238,6 +249,7 @@ class QueryEngineRank {
             pairs.emplace_back(
                 w, distance_(std::span<const T>(scratch_), (*points_)[w]));
           }
+          comm_->telemetry().add(c_distance_evals_, ids.size());
           send_eval_reply(static_cast<int>(coordinator), qid, pairs);
         });
     h_eval_reply_ = comm_->register_handler(
@@ -284,6 +296,10 @@ class QueryEngineRank {
 
   comm::HandlerId h_seed_req_ = 0, h_row_req_ = 0, h_row_reply_ = 0;
   comm::HandlerId h_eval_batch_ = 0, h_eval_reply_ = 0;
+
+  telemetry::MetricId c_submitted_ = 0, c_completed_ = 0;
+  telemetry::MetricId c_frontier_pops_ = 0, c_distance_evals_ = 0;
+  telemetry::MetricId h_evals_per_query_ = 0;
 };
 
 /// Front-end: binds per-rank query engines to a built DnndRunner and runs
@@ -316,6 +332,7 @@ class DistributedQueryService {
     for (auto& rank : ranks_) rank->completed().clear();
     const int nranks = env_->num_ranks();
     env_->execute_phase([&](int r) {
+      const auto span = env_->telemetry(r).span("query_batch", "query");
       for (std::size_t qi = static_cast<std::size_t>(r); qi < queries.size();
            qi += static_cast<std::size_t>(nranks)) {
         ranks_[static_cast<std::size_t>(r)]->submit(qi, queries.row(qi),

@@ -59,6 +59,8 @@ class DnndEngine {
         partition_(std::move(partition)),
         rng_(util::Xoshiro256(config.seed).fork(
             static_cast<std::uint64_t>(comm.rank()))) {
+    c_distance_evals_ = comm_->telemetry().counter("engine.distance_evals");
+    c_updates_ = comm_->telemetry().counter("engine.updates");
     register_handlers();
   }
 
@@ -336,6 +338,7 @@ class DnndEngine {
   /// Successful Update() count since the last call (the counter `c`).
   std::uint64_t take_update_count() noexcept {
     const std::uint64_t c = updates_;
+    comm_->telemetry().add(c_updates_, c);
     updates_ = 0;
     return c;
   }
@@ -491,6 +494,7 @@ class DnndEngine {
 
   Dist eval(std::span<const T> a, std::span<const T> b) {
     ++distance_evals_;
+    comm_->telemetry().add(c_distance_evals_);
     return distance_(a, b);
   }
 
@@ -655,6 +659,9 @@ class DnndEngine {
   comm::HandlerId h_type1_unopt_ = 0, h_type2_unopt_ = 0, h_rev_edge_ = 0;
   comm::HandlerId h_init_sample_ = 0;
   comm::HandlerId h_ingest_ = 0;
+
+  telemetry::MetricId c_distance_evals_ = 0;
+  telemetry::MetricId c_updates_ = 0;
 };
 
 }  // namespace dnnd::core

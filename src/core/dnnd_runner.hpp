@@ -85,6 +85,11 @@ class DnndRunner {
       engines_.push_back(std::make_unique<DnndEngine<T, DistanceFn>>(
           env.comm(r), config_, distance, partition_));
     }
+    // Global (not per-rank) quantities are recorded on rank 0 only, so
+    // the cross-rank merge does not multiply them by the rank count.
+    c_iterations_ = env.telemetry(0).counter("engine.iterations");
+    h_updates_per_iter_ =
+        env.telemetry(0).histogram("engine.updates_per_iteration");
   }
 
   /// Hash-partitions a dataset with dense ids 0..N-1 onto the ranks.
@@ -310,6 +315,8 @@ class DnndRunner {
       const std::uint64_t c = collectives_.front()->sum();
       stats.updates_per_iteration.push_back(c);
       stats.total_updates += c;
+      env_->telemetry(0).add(c_iterations_);
+      env_->telemetry(0).record(h_updates_per_iter_, c);
       if (c < threshold || c == 0) break;
     }
   }
@@ -370,7 +377,12 @@ class DnndRunner {
     for (int r = 0; r < env_->num_ranks(); ++r) before[at(r)] = work_of(r);
     util::Timer timer;
     try {
-      env_->execute_phase([&](int r) { fn(r); });
+      env_->execute_phase([&](int r) {
+        // Per-rank, phase-scoped trace span: every barrier-delimited
+        // superstep shows up in trace.json under its phase label.
+        const auto span = env_->telemetry(r).span(label, "phase");
+        fn(r);
+      });
     } catch (const comm::TransportError& e) {
       // Retry exhaustion in the fault-injected transport: surface it with
       // the phase it interrupted so callers can tell a failed barrier from
@@ -420,6 +432,8 @@ class DnndRunner {
   bool optimized_ = false;
   DnndBuildStats last_build_stats_;
   std::map<std::string, PhaseCost> phase_profile_;
+  telemetry::MetricId c_iterations_ = 0;
+  telemetry::MetricId h_updates_per_iter_ = 0;
 };
 
 }  // namespace dnnd::core

@@ -1,6 +1,7 @@
 #include "mpi/threaded_driver.hpp"
 
 #include <barrier>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -11,7 +12,8 @@ namespace dnnd::mpi {
 void run_threaded_phase(World& world, int num_ranks,
                         const std::function<void(int)>& phase,
                         const std::function<void(int)>& flush,
-                        const std::function<std::size_t(int)>& process) {
+                        const std::function<std::size_t(int)>& process,
+                        const std::function<void(int, double)>& drain_done) {
   std::barrier sync(num_ranks);
   // First handler exception wins; the rest of the ranks still need to
   // terminate, so the drain loop keeps a "failed" flag instead of
@@ -35,6 +37,8 @@ void run_threaded_phase(World& world, int num_ranks,
     // meaningful: until then a rank that has not called async() yet could
     // still create work.
     sync.arrive_and_wait();
+    const auto drain_start = std::chrono::steady_clock::now();
+    bool clean = false;
     while (!failed.load(std::memory_order_relaxed)) {
       try {
         flush(rank);
@@ -44,7 +48,10 @@ void run_threaded_phase(World& world, int num_ranks,
           // barrier is complete. The counters are seq_cst, and once
           // submitted == processed no handler is running anywhere, so no
           // new messages can appear and the condition is stable.
-          if (world.quiescent()) break;
+          if (world.quiescent()) {
+            clean = true;
+            break;
+          }
           std::this_thread::yield();
         }
       } catch (...) {
@@ -54,6 +61,11 @@ void run_threaded_phase(World& world, int num_ranks,
         }
         failed.store(true);
       }
+    }
+    if (clean && drain_done) {
+      drain_done(rank, std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - drain_start)
+                           .count());
     }
   };
 

@@ -23,9 +23,16 @@ namespace dnnd::mpi {
 /// `process(rank)` must deliver a bounded batch of inbound messages and
 /// return how many were handled. Both are invoked only from rank `rank`'s
 /// thread.
+///
+/// `drain_done(rank, seconds)`, when non-null, is called from rank
+/// `rank`'s thread after that rank leaves the drain loop cleanly, with
+/// the wall time the rank spent between finishing its phase body and
+/// observing global quiescence — the per-rank barrier-wait cost the
+/// telemetry layer reports. Not called when the phase fails.
 void run_threaded_phase(World& world, int num_ranks,
                         const std::function<void(int)>& phase,
                         const std::function<void(int)>& flush,
-                        const std::function<std::size_t(int)>& process);
+                        const std::function<std::size_t(int)>& process,
+                        const std::function<void(int, double)>& drain_done = {});
 
 }  // namespace dnnd::mpi

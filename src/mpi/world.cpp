@@ -72,4 +72,11 @@ bool World::mailbox_empty(int rank) const {
   return box.queue.empty();
 }
 
+std::size_t World::mailbox_depth(int rank) const {
+  assert(rank >= 0 && rank < num_ranks_);
+  const auto& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  const std::lock_guard<std::mutex> lock(box.mutex);
+  return box.queue.size();
+}
+
 }  // namespace dnnd::mpi

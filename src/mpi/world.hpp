@@ -83,6 +83,10 @@ class World {
 
   [[nodiscard]] bool mailbox_empty(int rank) const;
 
+  /// Current queued datagram count in `rank`'s mailbox (takes the mailbox
+  /// mutex — a telemetry probe, not a hot-path primitive).
+  [[nodiscard]] std::size_t mailbox_depth(int rank) const;
+
   // -- Termination-detection counters -----------------------------------
   //
   // A message is "submitted" the moment the application hands it to the

@@ -1,0 +1,133 @@
+#include "telemetry/metrics.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace dnnd::telemetry {
+
+MetricId MetricsRegistry::intern(std::string_view name, MetricKind kind) {
+  const auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    if (metrics_[it->second].kind != kind) {
+      throw std::invalid_argument(
+          "MetricsRegistry: metric '" + std::string(name) +
+          "' already registered with a different kind");
+    }
+    return it->second;
+  }
+  const auto id = static_cast<MetricId>(metrics_.size());
+  Metric m;
+  m.name = std::string(name);
+  m.kind = kind;
+  metrics_.push_back(std::move(m));
+  index_.emplace(std::string(name), id);
+  return id;
+}
+
+const MetricsRegistry::Metric& MetricsRegistry::find(std::string_view name,
+                                                     MetricKind kind) const {
+  const auto it = index_.find(std::string(name));
+  if (it == index_.end()) {
+    throw std::out_of_range("MetricsRegistry: unknown metric '" +
+                            std::string(name) + "'");
+  }
+  const Metric& m = metrics_[it->second];
+  if (m.kind != kind) {
+    throw std::invalid_argument("MetricsRegistry: metric '" +
+                                std::string(name) + "' has a different kind");
+  }
+  return m;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // Validate every matching name first so a kind conflict cannot leave
+  // this registry partially merged.
+  for (const auto& src : other.metrics_) {
+    const auto it = index_.find(src.name);
+    if (it != index_.end() && metrics_[it->second].kind != src.kind) {
+      throw std::invalid_argument(
+          "MetricsRegistry::merge: metric '" + src.name +
+          "' has kind conflict between the two registries");
+    }
+  }
+  for (const auto& src : other.metrics_) {
+    const auto it = index_.find(src.name);
+    if (it == index_.end()) {
+      const auto id = static_cast<MetricId>(metrics_.size());
+      metrics_.push_back(src);
+      index_.emplace(src.name, id);
+      continue;
+    }
+    Metric& dst = metrics_[it->second];
+    switch (src.kind) {
+      case MetricKind::kCounter:
+        dst.counter += src.counter;
+        break;
+      case MetricKind::kGauge:
+        if (src.gauge > dst.gauge) dst.gauge = src.gauge;
+        if (src.gauge_peak > dst.gauge_peak) dst.gauge_peak = src.gauge_peak;
+        break;
+      case MetricKind::kHistogram:
+        dst.hist.merge(src.hist);
+        break;
+    }
+  }
+}
+
+void MetricsRegistry::reset() noexcept {
+  for (auto& m : metrics_) {
+    m.counter = 0;
+    m.gauge = 0;
+    m.gauge_peak = std::numeric_limits<std::int64_t>::min();
+    m.hist.reset();
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  using util::json::write_string;
+  const auto section = [&](MetricKind kind, auto&& emit_one) {
+    os << '{';
+    bool first = true;
+    for (const auto& m : metrics_) {
+      if (m.kind != kind) continue;
+      if (!first) os << ',';
+      first = false;
+      write_string(os, m.name);
+      os << ':';
+      emit_one(m);
+    }
+    os << '}';
+  };
+
+  os << "{\"counters\":";
+  section(MetricKind::kCounter, [&](const Metric& m) { os << m.counter; });
+  os << ",\"gauges\":";
+  section(MetricKind::kGauge, [&](const Metric& m) {
+    // A never-set gauge reports value 0 / peak 0 rather than the sentinel.
+    const std::int64_t peak =
+        m.gauge_peak == std::numeric_limits<std::int64_t>::min() ? 0
+                                                                 : m.gauge_peak;
+    os << "{\"value\":" << m.gauge << ",\"peak\":" << peak << '}';
+  });
+  os << ",\"histograms\":";
+  section(MetricKind::kHistogram, [&](const Metric& m) {
+    os << "{\"count\":" << m.hist.count() << ",\"sum\":" << m.hist.sum()
+       << ",\"min\":" << (m.hist.count() ? m.hist.min() : 0)
+       << ",\"max\":" << m.hist.max() << ",\"buckets\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < LogHistogram::kNumBuckets; ++i) {
+      if (m.hist.bucket(i) == 0) continue;
+      if (!first) os << ',';
+      first = false;
+      os << "{\"lo\":" << LogHistogram::bucket_lower(i)
+         << ",\"hi\":" << LogHistogram::bucket_upper(i)
+         << ",\"n\":" << m.hist.bucket(i) << '}';
+    }
+    os << "]}";
+  });
+  os << '}';
+}
+
+}  // namespace dnnd::telemetry

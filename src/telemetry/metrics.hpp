@@ -1,0 +1,214 @@
+// Per-rank metrics registry: counters, gauges, and fixed-bucket log-scale
+// histograms, all mergeable across ranks (same discipline as
+// util::RunningStats::merge and comm::MessageStats::merge).
+//
+// The paper's evaluation is built on per-phase, per-message-type
+// accounting (Fig. 4 message/byte breakdowns, the §5.4 batch-size
+// congestion study). This registry is the general-purpose half of that:
+// every subsystem registers named metrics once (cheap, setup-time) and
+// records through dense MetricIds on the hot path (an indexed add).
+// After a run the driver merges the per-rank registries into one view and
+// the exporters emit machine-readable JSON.
+//
+// Merge semantics per kind:
+//   counter    sum
+//   gauge      last-set value and peak both merge by max (gauges track
+//              instantaneous levels like queue depth; the cross-rank
+//              aggregate of interest is the high-water mark)
+//   histogram  bucket-wise sum (fixed log2 bucket layout, so merging is
+//              associative and commutative like RunningStats)
+//
+// Unlike MessageStats, merge matches metrics *by name*, so registries
+// with different registration orders — or disjoint metric sets — merge
+// correctly; a name registered with different kinds on the two sides is a
+// programming error and throws without modifying the destination.
+//
+// Thread safety: none. One registry belongs to one rank and is only
+// touched by that rank's thread, exactly like MessageStats.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace dnnd::telemetry {
+
+using MetricId = std::uint32_t;
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Fixed-layout log2 histogram over uint64 samples.
+///
+/// Bucket 0 holds the value 0; bucket i (1 <= i <= 64) holds values with
+/// bit width i, i.e. the range [2^(i-1), 2^i - 1]. The layout is the same
+/// for every instance, which is what makes merge a plain bucket-wise sum.
+class LogHistogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 65;
+
+  void record(std::uint64_t value) noexcept {
+    ++buckets_[bucket_index(value)];
+    ++count_;
+    sum_ += static_cast<double>(value);
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+
+  /// Doubles clamp into the uint64 domain: negatives and sub-1 values
+  /// record as 0, +inf and anything >= 2^64 saturate into the top bucket,
+  /// NaN is dropped (counted nowhere — there is no meaningful bucket).
+  void record_clamped(double value) noexcept {
+    if (value != value) return;  // NaN
+    if (value <= 0.0) {
+      record(0);
+    } else if (value >= 18446744073709551615.0) {  // 2^64 - 1 rounded up
+      record(std::numeric_limits<std::uint64_t>::max());
+    } else {
+      record(static_cast<std::uint64_t>(value));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+  /// Min/max of recorded samples; min() > max() iff count() == 0.
+  [[nodiscard]] std::uint64_t min() const noexcept { return min_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_.at(i);
+  }
+
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept {
+    std::size_t width = 0;
+    while (value != 0) {
+      value >>= 1;
+      ++width;
+    }
+    return width;  // 0 for value 0, else bit width (1..64)
+  }
+  /// Inclusive value range covered by bucket i.
+  [[nodiscard]] static std::uint64_t bucket_lower(std::size_t i) noexcept {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t i) noexcept {
+    if (i == 0) return 0;
+    if (i == 64) return std::numeric_limits<std::uint64_t>::max();
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  void merge(const LogHistogram& other) noexcept {
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.count_ != 0) {
+      if (other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+  }
+
+  void reset() noexcept { *this = LogHistogram{}; }
+
+ private:
+  std::vector<std::uint64_t> buckets_ =
+      std::vector<std::uint64_t>(kNumBuckets, 0);
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+class MetricsRegistry {
+ public:
+  /// Register-or-lookup by name. Registering an existing name with the
+  /// same kind returns the original id (so independently constructed
+  /// subsystems can share a metric); a different kind throws.
+  MetricId counter(std::string_view name) {
+    return intern(name, MetricKind::kCounter);
+  }
+  MetricId gauge(std::string_view name) {
+    return intern(name, MetricKind::kGauge);
+  }
+  MetricId histogram(std::string_view name) {
+    return intern(name, MetricKind::kHistogram);
+  }
+
+  // -- hot-path recording (ids come from registration above) -------------
+
+  void add(MetricId id, std::uint64_t n = 1) noexcept {
+    metrics_[id].counter += n;
+  }
+  void set(MetricId id, std::int64_t value) noexcept {
+    auto& m = metrics_[id];
+    m.gauge = value;
+    if (value > m.gauge_peak) m.gauge_peak = value;
+  }
+  void record(MetricId id, std::uint64_t value) noexcept {
+    metrics_[id].hist.record(value);
+  }
+  void record_clamped(MetricId id, double value) noexcept {
+    metrics_[id].hist.record_clamped(value);
+  }
+
+  // -- reads (by name, for tests and exporters) --------------------------
+
+  [[nodiscard]] std::size_t size() const noexcept { return metrics_.size(); }
+  [[nodiscard]] bool contains(std::string_view name) const {
+    return index_.find(std::string(name)) != index_.end();
+  }
+  [[nodiscard]] std::uint64_t counter_value(std::string_view name) const {
+    return find(name, MetricKind::kCounter).counter;
+  }
+  [[nodiscard]] std::int64_t gauge_value(std::string_view name) const {
+    return find(name, MetricKind::kGauge).gauge;
+  }
+  [[nodiscard]] std::int64_t gauge_peak(std::string_view name) const {
+    return find(name, MetricKind::kGauge).gauge_peak;
+  }
+  [[nodiscard]] const LogHistogram& histogram_of(std::string_view name) const {
+    return find(name, MetricKind::kHistogram).hist;
+  }
+
+  /// Merges by name (see file header for per-kind semantics). Strong
+  /// exception guarantee: a kind conflict throws std::invalid_argument
+  /// and leaves this registry untouched.
+  void merge(const MetricsRegistry& other);
+
+  /// Zeroes every value but keeps names, kinds, and ids (mirror of
+  /// MessageStats::reset).
+  void reset() noexcept;
+
+  /// Emits the registry as one JSON object:
+  ///   {"counters":{...},"gauges":{name:{"value":v,"peak":p}},
+  ///    "histograms":{name:{"count":c,"sum":s,"min":m,"max":M,
+  ///                        "buckets":[{"lo":l,"hi":h,"n":c},...]}}}
+  /// Members appear in registration order within each section; only
+  /// non-empty histogram buckets are listed.
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Metric {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t counter = 0;
+    std::int64_t gauge = 0;
+    std::int64_t gauge_peak = std::numeric_limits<std::int64_t>::min();
+    LogHistogram hist;
+  };
+
+  MetricId intern(std::string_view name, MetricKind kind);
+  [[nodiscard]] const Metric& find(std::string_view name,
+                                   MetricKind kind) const;
+
+  std::vector<Metric> metrics_;
+  std::unordered_map<std::string, MetricId> index_;
+};
+
+}  // namespace dnnd::telemetry

@@ -1,0 +1,118 @@
+// Per-rank telemetry facade and the DNND_TELEMETRY compile-time gate.
+//
+// Instrumented code (comm layer, engines, drivers, query service) talks
+// to this class only: register metric ids at setup time, then add / set /
+// record / span on the hot path. The CMake option DNND_TELEMETRY selects
+// between two definitions with identical signatures:
+//
+//   ON  (default)  Telemetry owns a MetricsRegistry + TraceBuffer and
+//                  forwards every call.
+//   OFF            every member is an inline empty body — calls compile
+//                  to nothing, spans never read the clock, and the hot
+//                  path is byte-for-byte the uninstrumented one. The
+//                  underlying registry/trace classes still exist (they
+//                  are plain data structures and stay unit-testable);
+//                  only the recording facade is compiled away.
+//
+// Callers that need to branch on the configuration at compile time can
+// use `if constexpr (telemetry::kEnabled)`; this is how optional probes
+// with a real cost (e.g. sampling a mutex-guarded queue depth) are kept
+// out of DNND_TELEMETRY=OFF builds entirely.
+#pragma once
+
+#include <string_view>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
+
+#ifndef DNND_TELEMETRY_ENABLED
+#define DNND_TELEMETRY_ENABLED 1
+#endif
+
+namespace dnnd::telemetry {
+
+inline constexpr bool kEnabled = (DNND_TELEMETRY_ENABLED != 0);
+
+#if DNND_TELEMETRY_ENABLED
+
+class Telemetry {
+ public:
+  MetricId counter(std::string_view name) { return metrics_.counter(name); }
+  MetricId gauge(std::string_view name) { return metrics_.gauge(name); }
+  MetricId histogram(std::string_view name) {
+    return metrics_.histogram(name);
+  }
+
+  void add(MetricId id, std::uint64_t n = 1) noexcept { metrics_.add(id, n); }
+  void set(MetricId id, std::int64_t value) noexcept {
+    metrics_.set(id, value);
+  }
+  void record(MetricId id, std::uint64_t value) noexcept {
+    metrics_.record(id, value);
+  }
+  void record_clamped(MetricId id, double value) noexcept {
+    metrics_.record_clamped(id, value);
+  }
+
+  /// RAII phase span; `name` and `category` must outlive the span
+  /// (string literals at every call site).
+  [[nodiscard]] TraceSpan span(const char* name, const char* category,
+                               std::uint32_t tid = 0) {
+    return TraceSpan(&trace_, name, category, tid);
+  }
+  void add_trace_event(TraceEvent event) { trace_.add(std::move(event)); }
+
+  [[nodiscard]] MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] const TraceBuffer& trace() const noexcept { return trace_; }
+
+  void reset() noexcept {
+    metrics_.reset();
+    trace_.clear();
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceBuffer trace_;
+};
+
+#else  // DNND_TELEMETRY_ENABLED == 0: every member is a no-op
+
+class Telemetry {
+ public:
+  MetricId counter(std::string_view) noexcept { return 0; }
+  MetricId gauge(std::string_view) noexcept { return 0; }
+  MetricId histogram(std::string_view) noexcept { return 0; }
+
+  void add(MetricId, std::uint64_t = 1) noexcept {}
+  void set(MetricId, std::int64_t) noexcept {}
+  void record(MetricId, std::uint64_t) noexcept {}
+  void record_clamped(MetricId, double) noexcept {}
+
+  [[nodiscard]] TraceSpan span(const char*, const char*,
+                               std::uint32_t = 0) noexcept {
+    return TraceSpan{};  // null buffer: never reads the clock
+  }
+  void add_trace_event(TraceEvent) noexcept {}
+
+  // Read-only views stay available so exporters compile unchanged; they
+  // see permanently empty state. The mutable metrics() accessor is
+  // deliberately absent: writing through the registry bypasses the no-op
+  // gate and will not compile under DNND_TELEMETRY=OFF.
+  [[nodiscard]] const MetricsRegistry& metrics() const noexcept {
+    static const MetricsRegistry kEmpty;
+    return kEmpty;
+  }
+  [[nodiscard]] const TraceBuffer& trace() const noexcept {
+    static const TraceBuffer kEmpty;
+    return kEmpty;
+  }
+
+  void reset() noexcept {}
+};
+
+#endif  // DNND_TELEMETRY_ENABLED
+
+}  // namespace dnnd::telemetry

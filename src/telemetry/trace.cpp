@@ -1,0 +1,56 @@
+#include "telemetry/trace.hpp"
+
+#include <chrono>
+#include <ostream>
+#include <set>
+
+#include "util/json.hpp"
+
+namespace dnnd::telemetry {
+
+std::uint64_t now_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                            epoch)
+          .count());
+}
+
+void write_chrome_trace(std::ostream& os, std::span<const RankTrace> ranks) {
+  using util::json::write_string;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  for (const RankTrace& rt : ranks) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << rt.rank
+       << ",\"tid\":0,\"args\":{\"name\":\"rank " << rt.rank << "\"}}";
+    if (rt.buffer == nullptr) continue;
+    std::set<std::uint32_t> tids;
+    for (const TraceEvent& e : rt.buffer->events()) tids.insert(e.tid);
+    for (const std::uint32_t tid : tids) {
+      sep();
+      os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << rt.rank
+         << ",\"tid\":" << tid << ",\"args\":{\"name\":\""
+         << (tid == 0 ? std::string("driver")
+                      : "aux " + std::to_string(tid))
+         << "\"}}";
+    }
+    for (const TraceEvent& e : rt.buffer->events()) {
+      sep();
+      os << "{\"name\":";
+      write_string(os, e.name);
+      os << ",\"cat\":";
+      write_string(os, e.category);
+      os << ",\"ph\":\"X\",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
+         << ",\"pid\":" << rt.rank << ",\"tid\":" << e.tid << '}';
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+}
+
+}  // namespace dnnd::telemetry

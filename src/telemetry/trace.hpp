@@ -1,0 +1,108 @@
+// Phase-scoped trace spans and the Chrome-trace (catapult) exporter.
+//
+// Each rank owns a TraceBuffer of *complete* events ("ph":"X" in the
+// trace-event format): name, category, start timestamp, duration, and a
+// logical thread id within the rank. RAII TraceSpans stamp wall time on
+// construction/destruction against a process-global steady-clock epoch,
+// so events from different ranks share one timeline.
+//
+// The exporter writes the JSON object form of the Trace Event Format that
+// chrome://tracing and Perfetto load directly: pid = simulated rank,
+// tid = logical thread within the rank (0 = the rank's driver thread),
+// with metadata records naming both.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dnnd::telemetry {
+
+/// Microseconds since the process-global telemetry epoch (the first call
+/// in the process). Monotonic; shared by every rank in the simulation.
+[[nodiscard]] std::uint64_t now_us();
+
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t ts_us = 0;   ///< start, micros since the telemetry epoch
+  std::uint64_t dur_us = 0;  ///< duration in micros
+  std::uint32_t tid = 0;     ///< logical thread within the rank
+};
+
+/// Per-rank event buffer. Not thread-safe: owned and written by one
+/// rank's thread, like MessageStats.
+class TraceBuffer {
+ public:
+  void add(TraceEvent event) { events_.push_back(std::move(event)); }
+  void add_complete(std::string name, std::string category,
+                    std::uint64_t ts_us, std::uint64_t dur_us,
+                    std::uint32_t tid = 0) {
+    events_.push_back(TraceEvent{std::move(name), std::move(category), ts_us,
+                                 dur_us, tid});
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  void clear() noexcept { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: records one complete event into `buffer` on destruction.
+/// A null buffer makes the span a no-op (no clock reads) — that is how
+/// the DNND_TELEMETRY=OFF facade compiles spans away.
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  TraceSpan(TraceBuffer* buffer, const char* name, const char* category,
+            std::uint32_t tid = 0)
+      : buffer_(buffer), name_(name), category_(category), tid_(tid) {
+    if (buffer_ != nullptr) start_us_ = now_us();
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  TraceSpan(TraceSpan&& other) noexcept { *this = std::move(other); }
+  TraceSpan& operator=(TraceSpan&& other) noexcept {
+    buffer_ = std::exchange(other.buffer_, nullptr);
+    name_ = other.name_;
+    category_ = other.category_;
+    tid_ = other.tid_;
+    start_us_ = other.start_us_;
+    return *this;
+  }
+
+  ~TraceSpan() {
+    if (buffer_ == nullptr) return;
+    const std::uint64_t end = now_us();
+    buffer_->add_complete(name_, category_, start_us_, end - start_us_, tid_);
+  }
+
+ private:
+  TraceBuffer* buffer_ = nullptr;
+  const char* name_ = "";
+  const char* category_ = "";
+  std::uint32_t tid_ = 0;
+  std::uint64_t start_us_ = 0;
+};
+
+/// One rank's contribution to the merged trace.
+struct RankTrace {
+  int rank = 0;
+  const TraceBuffer* buffer = nullptr;
+};
+
+/// Writes the merged per-rank buffers as a Chrome trace (JSON object
+/// format): every event becomes a "ph":"X" record with pid = rank and
+/// tid = event.tid, preceded by process_name/thread_name metadata so the
+/// viewer labels rows "rank N" / "driver".
+void write_chrome_trace(std::ostream& os, std::span<const RankTrace> ranks);
+
+}  // namespace dnnd::telemetry

@@ -153,6 +153,33 @@ TEST(MessageStatsUnit, MergeAddsAndValidates) {
   EXPECT_THROW(a.merge(c), std::invalid_argument);
 }
 
+TEST(MessageStatsUnit, MismatchedMergeThrowsWithoutCorruptingCounters) {
+  // Labels agree at id 0 but diverge at id 1. The merge must throw AND
+  // must not have merged id 0 first — a half-applied merge would silently
+  // corrupt Figure-4 accounting for any caller that catches and continues.
+  MessageStats a, b;
+  a.add_handler("same");
+  a.add_handler("x");
+  b.add_handler("same");
+  b.add_handler("y");
+  a.on_send(0, true, 10);
+  b.on_send(0, true, 99);
+  b.on_send(1, false, 7);
+
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_EQ(a.handler(0).remote_messages, 1u);  // not 2: id 0 untouched
+  EXPECT_EQ(a.handler(0).remote_bytes, 10u);
+  EXPECT_EQ(a.handler(1).local_messages, 0u);
+
+  // Size mismatch throws too (unless one side is empty, which adopts).
+  MessageStats c;
+  c.add_handler("same");
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+  MessageStats empty;
+  empty.merge(a);  // empty destination adopts the source registry
+  EXPECT_EQ(empty.handler(0).remote_bytes, 10u);
+}
+
 TEST(MessageStatsUnit, ByLabelSumsAndReset) {
   MessageStats s;
   s.add_handler("t");

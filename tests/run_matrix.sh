@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Build-matrix driver: configures and builds the repo in every supported
+# configuration and runs the tier-1 suite in each. Today's matrix:
+#
+#   default        DNND_TELEMETRY=ON  (the normal build)
+#   telemetry-off  DNND_TELEMETRY=OFF (instrumentation compiled to no-ops;
+#                  proves the facade keeps the same API surface and that
+#                  no test silently depends on telemetry being recorded)
+#
+# Usage:
+#   tests/run_matrix.sh            # whole matrix
+#   tests/run_matrix.sh default    # one named configuration
+#
+# Each configuration builds into its own directory (build-matrix-<name>)
+# so switching configurations never poisons an incremental build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+declare -A configs=(
+  [default]="-DDNND_TELEMETRY=ON"
+  [telemetry-off]="-DDNND_TELEMETRY=OFF"
+)
+
+selected=("${!configs[@]}")
+if [[ $# -gt 0 ]]; then
+  for name in "$@"; do
+    if [[ -z "${configs[$name]:-}" ]]; then
+      echo "unknown configuration '$name' (have: ${!configs[*]})" >&2
+      exit 2
+    fi
+  done
+  selected=("$@")
+fi
+
+for name in "${selected[@]}"; do
+  build_dir="build-matrix-${name}"
+  echo "==== configuration ${name} (${configs[$name]}) ===="
+  # shellcheck disable=SC2086 — the flags string is intentionally split
+  cmake -B "$build_dir" -S . ${configs[$name]}
+  cmake --build "$build_dir" -j
+  (cd "$build_dir" && ctest -L tier1 --output-on-failure -j "$(nproc)")
+done
+
+echo "==== matrix passed: ${selected[*]} ===="
