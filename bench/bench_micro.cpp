@@ -118,6 +118,36 @@ void BM_CommRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_CommRoundTrip);
 
+void BM_CommRoundTripTraced(benchmark::State& state) {
+  // Same all-to-all with causal tracing at the given root sample period
+  // (0 = untraced fast path). Comparing period 0 here against
+  // BM_CommRoundTrip — and both against a DNND_TELEMETRY=OFF build —
+  // bounds the envelope/dispatch overhead of the tracing machinery.
+  const int ranks = 4;
+  comm::Config cfg;
+  cfg.num_ranks = ranks;
+  cfg.trace_sample_period = static_cast<std::uint64_t>(state.range(0));
+  comm::Environment env(cfg);
+  std::vector<comm::HandlerId> h(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    h[static_cast<std::size_t>(r)] = env.comm(r).register_handler(
+        "noop", [](int, serial::InArchive& ar) { ar.read<std::uint32_t>(); });
+  }
+  for (auto _ : state) {
+    env.execute_phase([&](int rank) {
+      for (int dest = 0; dest < ranks; ++dest) {
+        for (int i = 0; i < 16; ++i) {
+          env.comm(rank).async(dest, h[static_cast<std::size_t>(rank)],
+                               std::uint32_t{7});
+        }
+      }
+    });
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          ranks * ranks * 16);
+}
+BENCHMARK(BM_CommRoundTripTraced)->Arg(0)->Arg(64)->Arg(1);
+
 void BM_ArenaAllocateFree(benchmark::State& state) {
   std::vector<unsigned char> buffer(16 << 20);
   auto* header = reinterpret_cast<pmem::ArenaHeader*>(buffer.data());

@@ -85,9 +85,9 @@ int main() {
                   waits.count(), waits.mean(), waits.max());
     }
     const std::string prefix = "profile_r" + std::to_string(ranks);
-    env.export_telemetry(prefix + ".metrics.json", prefix + ".trace.json");
-    std::printf("wrote %s.metrics.json / %s.trace.json\n", prefix.c_str(),
-                prefix.c_str());
+    env.export_telemetry(prefix + ".metrics.json", prefix + ".trace.json",
+                         prefix + ".timeseries.json");
+    std::printf("wrote %s.{metrics,trace,timeseries}.json\n", prefix.c_str());
   }
 
   std::printf(

@@ -11,12 +11,25 @@
 //   dnnd_cli query <datastore> <query-file> [gt.ivecs] [epsilon]
 //       reopen, batch-search, report QPS (and recall when gt given)
 //   dnnd_cli info  <datastore>
+//   dnnd_cli stats <run-prefix> [--straggler-factor F]
+//       offline analysis of a run's telemetry artifacts (<prefix>.metrics
+//       .json / .trace.json / .timeseries.json): per-rank load skew,
+//       straggler flags, barrier share, queue-latency percentiles
+//   dnnd_cli stats --diff <baseline.metrics.json> <current.metrics.json>
+//                  [--tolerance PCT]
+//       regression gate: exits 3 when any deterministic counter drifts
+//       beyond the tolerance
 //
 // File type is inferred from the extension: .fvecs/.fbin = float32,
 // .bvecs/.u8bin = uint8. Metric is L2 (the billion-scale datasets').
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
+#include <vector>
+
+#include "telemetry/analysis.hpp"
 
 #include "baselines/brute_force.hpp"
 #include "comm/environment.hpp"
@@ -59,8 +72,11 @@ int usage(const char* argv0) {
                "usage: %s gen   <dataset> <prefix> [n] [nq]\n"
                "       %s build <base-file> <datastore> [k] [ranks]\n"
                "       %s query <datastore> <query-file> [gt.ivecs] [eps]\n"
-               "       %s info  <datastore>\n",
-               argv0, argv0, argv0, argv0);
+               "       %s info  <datastore>\n"
+               "       %s stats <run-prefix> [--straggler-factor F]\n"
+               "       %s stats --diff <baseline> <current> "
+               "[--tolerance PCT]\n",
+               argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -104,7 +120,22 @@ int cmd_gen(int argc, char** argv) {
 template <typename T, typename Fn>
 int build_typed(const core::FeatureStore<T>& base, const std::string& store,
                 std::size_t k, int ranks) {
-  comm::Environment env(comm::Config{.num_ranks = ranks});
+  // Causal tracing on by default for CLI builds: every 64th root message
+  // starts a traced chain, cheap enough to leave on and dense enough that
+  // a multi-iteration build yields cross-rank flow arrows. No-op (and
+  // zero envelope bytes) when the library is built with DNND_TELEMETRY=OFF.
+  // DNND_TRACE_SAMPLE_PERIOD overrides the period; 0 disables tracing,
+  // which also makes handler byte counters byte-deterministic (traced
+  // envelopes carry wall-clock varints) — the regression gate relies on
+  // this (tests/check_metrics_regression.sh).
+  std::uint64_t trace_period = 64;
+  if (const char* env_period = std::getenv("DNND_TRACE_SAMPLE_PERIOD")) {
+    trace_period = static_cast<std::uint64_t>(std::atoll(env_period));
+  }
+  comm::Config env_cfg;
+  env_cfg.num_ranks = ranks;
+  env_cfg.trace_sample_period = trace_period;
+  comm::Environment env(env_cfg);
   core::DnndConfig cfg;
   cfg.k = k;
   core::DnndRunner<T, Fn> runner(env, cfg, Fn{});
@@ -124,12 +155,15 @@ int build_typed(const core::FeatureStore<T>& base, const std::string& store,
            sizeof(core::Neighbor)) *
           4 +
       (64 << 20);
-  // Telemetry artifacts ride along with the datastore: merged per-rank
-  // metrics plus a Chrome trace of the build's phase timeline (load the
-  // latter in chrome://tracing). With DNND_TELEMETRY=OFF both files are
-  // still written as valid-but-empty documents.
-  env.export_telemetry(store + ".metrics.json", store + ".trace.json");
-  std::printf("telemetry: %s.metrics.json, %s.trace.json\n", store.c_str(),
+  // Telemetry artifacts ride along with the datastore: merged + per-rank
+  // metrics, a Chrome trace of the build's phase timeline with causal
+  // message flows (load in chrome://tracing), and the per-iteration
+  // counter time series. With DNND_TELEMETRY=OFF all three files are
+  // still written as valid-but-empty documents. Inspect with
+  // `dnnd_cli stats <datastore>`.
+  env.export_telemetry(store + ".metrics.json", store + ".trace.json",
+                       store + ".timeseries.json");
+  std::printf("telemetry: %s.{metrics,trace,timeseries}.json\n",
               store.c_str());
 
   auto mgr = pmem::Manager::create(store, bytes);
@@ -243,6 +277,88 @@ int cmd_info(int, char** argv) {
   return 0;
 }
 
+// Exit code for `stats --diff` when a counter drifts out of tolerance —
+// distinct from 1 (operational error) so CI can tell "regression" from
+// "the tool broke".
+constexpr int kExitOutOfTolerance = 3;
+
+int cmd_stats(int argc, char** argv) {
+  // Flag parsing: positional args first, then --flag value pairs.
+  std::vector<std::string> positional;
+  double straggler_factor = 1.25;
+  double tolerance_pct = 0.0;
+  bool diff = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--diff") {
+      diff = true;
+    } else if (arg == "--straggler-factor" && i + 1 < argc) {
+      straggler_factor = std::atof(argv[++i]);
+    } else if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance_pct = std::atof(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "stats: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+
+  if (diff) {
+    if (positional.size() != 2) {
+      std::fprintf(stderr,
+                   "stats --diff needs <baseline.metrics.json> "
+                   "<current.metrics.json>\n");
+      return 2;
+    }
+    const auto baseline = telemetry::load_json_file(positional[0]);
+    const auto current = telemetry::load_json_file(positional[1]);
+    if (!baseline || !current) {
+      std::fprintf(stderr, "stats: cannot read %s\n",
+                   (!baseline ? positional[0] : positional[1]).c_str());
+      return 1;
+    }
+    const auto report =
+        telemetry::diff_metrics(*baseline, *current, tolerance_pct);
+    telemetry::print_diff_report(std::cout, report, tolerance_pct);
+    return report.within_tolerance() ? 0 : kExitOutOfTolerance;
+  }
+
+  if (positional.size() != 1) {
+    std::fprintf(stderr, "stats needs one <run-prefix>\n");
+    return 2;
+  }
+  // Accept either the datastore prefix (`run.store`) or a directory-style
+  // prefix — artifacts are <prefix>.metrics.json etc., exactly as `build`
+  // writes them.
+  const std::string& prefix = positional[0];
+  const auto metrics = telemetry::load_json_file(prefix + ".metrics.json");
+  const auto trace = telemetry::load_json_file(prefix + ".trace.json");
+  const auto timeseries =
+      telemetry::load_json_file(prefix + ".timeseries.json");
+  if (!metrics && !trace && !timeseries) {
+    std::fprintf(stderr, "stats: no telemetry artifacts found at %s.*\n",
+                 prefix.c_str());
+    return 1;
+  }
+  if (metrics) {
+    std::printf("run: %d ranks, telemetry %s\n",
+                static_cast<int>(metrics->at("ranks").as_number()),
+                metrics->at("enabled").as_bool() ? "on" : "off");
+  }
+  if (trace) {
+    const auto report = telemetry::analyze_load(*trace, straggler_factor);
+    telemetry::print_load_report(std::cout, report, straggler_factor);
+  } else {
+    std::printf("no trace.json — skipping load analysis\n");
+  }
+  if (timeseries) {
+    telemetry::print_timeseries_summary(
+        std::cout, telemetry::summarize_timeseries(*timeseries));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -253,6 +369,7 @@ int main(int argc, char** argv) {
     if (mode == "build" && argc >= 4) return cmd_build(argc, argv);
     if (mode == "query" && argc >= 4) return cmd_query(argc, argv);
     if (mode == "info" && argc >= 3) return cmd_info(argc, argv);
+    if (mode == "stats" && argc >= 3) return cmd_stats(argc, argv);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -7,10 +7,12 @@
 namespace dnnd::comm {
 
 Communicator::Communicator(mpi::World& world, int rank,
-                           std::size_t send_buffer_bytes, RetryConfig retry)
+                           std::size_t send_buffer_bytes, RetryConfig retry,
+                           std::uint64_t trace_sample_period)
     : world_(&world),
       rank_(rank),
       send_buffer_bytes_(send_buffer_bytes),
+      trace_sample_period_(trace_sample_period),
       retry_(retry) {
   if (rank < 0 || rank >= world.size()) {
     throw std::invalid_argument("Communicator: rank out of range");
@@ -26,6 +28,10 @@ Communicator::Communicator(mpi::World& world, int rank,
   c_duplicates_ = telemetry_.counter("comm.duplicates_suppressed");
   c_acks_sent_ = telemetry_.counter("comm.acks_sent");
   c_acks_received_ = telemetry_.counter("comm.acks_received");
+  c_traced_sends_ = telemetry_.counter("comm.traced_sends");
+  h_queue_latency_ = telemetry_.histogram("comm.queue_latency_us");
+  h_handler_time_ = telemetry_.histogram("comm.handler_time_us");
+  h_dgram_queue_ = telemetry_.histogram("comm.dgram_queue_us");
 }
 
 HandlerId Communicator::register_handler(std::string label, HandlerFn fn) {
@@ -48,6 +54,9 @@ void Communicator::flush_to(int dest) {
   mpi::Datagram datagram;
   datagram.source = rank_;
   datagram.message_count = buffer.message_count;
+  if constexpr (telemetry::kEnabled) {
+    datagram.post_ts_us = telemetry::now_us();
+  }
   datagram.payload = buffer.archive.release();
   buffer.archive.clear();
   buffer.message_count = 0;
@@ -76,6 +85,14 @@ std::size_t Communicator::process_available(std::size_t max_datagrams) {
   for (std::size_t i = 0; i < max_datagrams; ++i) {
     if (!world_->try_collect(rank_, datagram)) break;
     if (reliable_ && !reliable_receive(datagram)) continue;
+    if constexpr (telemetry::kEnabled) {
+      if (datagram.post_ts_us != 0) {
+        const std::uint64_t now = telemetry::now_us();
+        telemetry_.record(h_dgram_queue_, now >= datagram.post_ts_us
+                                              ? now - datagram.post_ts_us
+                                              : 0);
+      }
+    }
     dispatch(datagram);
     messages += datagram.message_count;
   }
@@ -155,6 +172,9 @@ void Communicator::drive_retransmits() {
       copy.source = rank_;
       copy.seq = seq;
       copy.message_count = pending.message_count;
+      if constexpr (telemetry::kEnabled) {
+        copy.post_ts_us = telemetry::now_us();
+      }
       copy.payload = pending.payload;
       world_->post(dest, std::move(copy));
       ++pending.attempts;
@@ -167,15 +187,79 @@ void Communicator::drive_retransmits() {
   }
 }
 
+void Communicator::dispatch_traced(int source, HandlerId handler_id,
+                                   const TraceContext& ctx,
+                                   std::uint64_t send_ts,
+                                   serial::InArchive& archive) {
+  const Handler& handler = handlers_[handler_id];
+  const std::uint64_t start = telemetry::now_us();
+  const std::uint64_t queue_us = start >= send_ts ? start - send_ts : 0;
+  telemetry_.record(h_queue_latency_, queue_us);
+  // Flow finish at handler start: with bp="e" the arrowhead binds to the
+  // recv span below, which begins at the same timestamp.
+  telemetry_.add_trace_event(
+      make_flow_event('f', handler.label, start, ctx.span_id));
+
+  // Make the context current for the handler's own async() calls — and for
+  // structured log lines emitted from handler code. Restore on scope exit
+  // even if the handler throws (chaos tests exercise throwing handlers).
+  struct ActiveScope {
+    Communicator* self;
+    ~ActiveScope() {
+      self->active_ctx_ = TraceContext{};
+      util::set_active_trace(0);
+    }
+  };
+  active_ctx_ = ctx;
+  util::set_active_trace(ctx.trace_id);
+  const ActiveScope scope{this};
+
+  handler.fn(source, archive);
+
+  const std::uint64_t end = telemetry::now_us();
+  telemetry_.record(h_handler_time_, end - start);
+  telemetry::TraceEvent span;
+  span.name = "recv." + handler.label;
+  span.category = "handler";
+  span.ts_us = start;
+  span.dur_us = end - start;
+  span.args = "{\"trace\":\"" + telemetry::hex_id(ctx.trace_id) +
+              "\",\"span\":\"" + telemetry::hex_id(ctx.span_id) +
+              "\",\"hop\":" + std::to_string(ctx.hop) +
+              ",\"src\":" + std::to_string(source) +
+              ",\"queue_us\":" + std::to_string(queue_us) + '}';
+  telemetry_.add_trace_event(std::move(span));
+}
+
 void Communicator::dispatch(const mpi::Datagram& datagram) {
   serial::InArchive archive(datagram.payload);
   std::uint32_t handled = 0;
   while (!archive.empty()) {
-    const auto handler_id = static_cast<HandlerId>(archive.read_size());
+    const std::uint64_t key = archive.read_size();
+    HandlerId handler_id;
+    bool traced = false;
+    TraceContext ctx;
+    std::uint64_t send_ts = 0;
+    if constexpr (telemetry::kEnabled) {
+      handler_id = static_cast<HandlerId>(key >> 1);
+      traced = (key & 1u) != 0;
+      if (traced) {
+        ctx.trace_id = archive.read_size();
+        ctx.span_id = archive.read_size();
+        ctx.hop = static_cast<std::uint32_t>(archive.read_size());
+        send_ts = archive.read_size();
+      }
+    } else {
+      handler_id = static_cast<HandlerId>(key);
+    }
     if (handler_id >= handlers_.size()) {
       throw std::runtime_error("Communicator: unknown handler id");
     }
-    handlers_[handler_id].fn(datagram.source, archive);
+    if (traced) {
+      dispatch_traced(datagram.source, handler_id, ctx, send_ts, archive);
+    } else {
+      handlers_[handler_id].fn(datagram.source, archive);
+    }
     telemetry_.add(recv_counters_[handler_id]);
     // Count each message as processed only after its handler returned, so
     // the quiescence test cannot pass while a handler (which may itself

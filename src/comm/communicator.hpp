@@ -29,6 +29,19 @@
 // livelocking. When no injector is installed none of this state exists and
 // the fast path is identical to the unreliable transport.
 //
+// Causal tracing (telemetry builds): a sampled message carries a
+// TraceContext — trace id, the send-side span id (which doubles as the
+// Chrome-trace flow id), hop count, and the submission timestamp — inside
+// its envelope. The traced/untraced distinction rides the low bit of the
+// handler-id varint, so an *untraced* message costs zero extra wire
+// bytes; with DNND_TELEMETRY=OFF the envelope is the plain handler id and
+// no trace code exists at all. Handler dispatch of a traced message opens
+// a child span (queue latency = handler start − submission; duration =
+// handler time), emits the flow-finish event that stitches it to the
+// sender, and makes the context current so messages the handler sends
+// propagate the trace — Type-1 → Type-2+ → Type-3 chains stay connected
+// across any number of ranks.
+//
 // Thread safety: a Communicator belongs to one rank and is only touched by
 // that rank's thread (handlers for rank r run on rank r's thread). The
 // underlying World does the cross-thread synchronization.
@@ -46,12 +59,26 @@
 #include "mpi/world.hpp"
 #include "serial/archive.hpp"
 #include "telemetry/telemetry.hpp"
+#include "util/logging.hpp"
 
 namespace dnnd::comm {
 
 /// A handler receives the source rank and an archive positioned at its
 /// serialized arguments; it must consume exactly those arguments.
 using HandlerFn = std::function<void(int source, serial::InArchive&)>;
+
+/// Propagation stops past this depth: a runaway handler loop cannot grow
+/// envelopes without bound. Far above the engine's reply chains (depth 3)
+/// and the distributed query's bounded hop walks.
+inline constexpr std::uint32_t kMaxTraceHops = 32;
+
+/// Causal trace context as carried in a traced message's envelope.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< 0 = not traced
+  std::uint64_t span_id = 0;   ///< the message's own span id == flow id
+  std::uint32_t hop = 0;       ///< 1 for a root message, +1 per handler
+  [[nodiscard]] bool active() const noexcept { return trace_id != 0; }
+};
 
 /// Retry/dedup protocol knobs. Ticks are retransmission-clock steps: one
 /// tick per process_available() call on the owning rank.
@@ -109,8 +136,12 @@ class Communicator {
   /// `send_buffer_bytes`: per-destination buffering threshold; 0 means
   /// send every message immediately (useful for tests). The retry/dedup
   /// protocol switches on iff `world.faulty()` at construction time.
+  /// `trace_sample_period`: every Nth root message (one with no inbound
+  /// context to propagate) starts a new sampled trace; 0 disables tracing
+  /// entirely — no trace bytes on the wire, no clock reads. Ignored under
+  /// DNND_TELEMETRY=OFF.
   Communicator(mpi::World& world, int rank, std::size_t send_buffer_bytes,
-               RetryConfig retry = {});
+               RetryConfig retry = {}, std::uint64_t trace_sample_period = 0);
 
   Communicator(const Communicator&) = delete;
   Communicator& operator=(const Communicator&) = delete;
@@ -138,7 +169,31 @@ class Communicator {
       flush_to(dest);
     }
     const std::size_t before = buffer.archive.size();
-    buffer.archive.write_size(handler);
+    if constexpr (telemetry::kEnabled) {
+      // Envelope: handler id shifted left one bit, low bit = traced flag.
+      // Untraced messages therefore serialize exactly one varint, the
+      // same byte count the plain handler id costs (ids stay < 64).
+      const TraceContext ctx = outbound_context();
+      if (ctx.active()) {
+        buffer.archive.write_size((static_cast<std::uint64_t>(handler) << 1) |
+                                  1u);
+        const std::uint64_t send_ts = telemetry::now_us();
+        buffer.archive.write_size(ctx.trace_id);
+        buffer.archive.write_size(ctx.span_id);
+        buffer.archive.write_size(ctx.hop);
+        buffer.archive.write_size(send_ts);
+        // Flow start anchors to whatever span is open on this rank at
+        // submission time (a phase span or the handler span that is
+        // sending a follow-up).
+        telemetry_.add_trace_event(make_flow_event(
+            's', handlers_[handler].label, send_ts, ctx.span_id));
+        telemetry_.add(c_traced_sends_);
+      } else {
+        buffer.archive.write_size(static_cast<std::uint64_t>(handler) << 1);
+      }
+    } else {
+      buffer.archive.write_size(handler);
+    }
     serial::pack(buffer.archive, args...);
     const std::size_t message_bytes = buffer.archive.size() - before;
     ++buffer.message_count;
@@ -186,6 +241,13 @@ class Communicator {
     return telemetry_;
   }
 
+  /// The trace context of the message whose handler is currently running
+  /// on this rank (inactive outside traced dispatch). Exposed for tests
+  /// and for services that want to tag their own artifacts.
+  [[nodiscard]] const TraceContext& active_trace_context() const noexcept {
+    return active_ctx_;
+  }
+
   [[nodiscard]] mpi::World& world() noexcept { return *world_; }
 
  private:
@@ -217,6 +279,46 @@ class Communicator {
 
   void flush_to(int dest);
   void dispatch(const mpi::Datagram& datagram);
+  /// Runs one traced message's handler inside a child span: records queue
+  /// latency, emits the flow-finish stitch, and makes `ctx` current so
+  /// the handler's own sends propagate the trace.
+  void dispatch_traced(int source, HandlerId handler_id,
+                       const TraceContext& ctx, std::uint64_t send_ts,
+                       serial::InArchive& archive);
+
+  /// Context for the next outbound message: propagate the active inbound
+  /// context (hop+1, fresh span id), or start a new sampled root trace,
+  /// or inactive (the common case).
+  [[nodiscard]] TraceContext outbound_context() {
+    if (active_ctx_.active()) {
+      if (active_ctx_.hop >= kMaxTraceHops) return {};
+      return TraceContext{active_ctx_.trace_id, mint_id(),
+                          active_ctx_.hop + 1};
+    }
+    if (trace_sample_period_ != 0 && ++root_countdown_ >= trace_sample_period_) {
+      root_countdown_ = 0;
+      return TraceContext{mint_id(), mint_id(), 1};
+    }
+    return {};
+  }
+
+  /// Ids unique across ranks: rank in the top bits, a counter below.
+  [[nodiscard]] std::uint64_t mint_id() noexcept {
+    return (static_cast<std::uint64_t>(rank_ + 1) << 40) | ++trace_seq_;
+  }
+
+  [[nodiscard]] telemetry::TraceEvent make_flow_event(char ph,
+                                                      const std::string& name,
+                                                      std::uint64_t ts_us,
+                                                      std::uint64_t flow_id) {
+    telemetry::TraceEvent e;
+    e.name = name;
+    e.category = "flow";
+    e.ts_us = ts_us;
+    e.ph = ph;
+    e.flow_id = flow_id;
+    return e;
+  }
 
   /// Returns true when the datagram should be dispatched (fresh data);
   /// acks and duplicates are consumed here.
@@ -244,6 +346,16 @@ class Communicator {
   telemetry::MetricId c_duplicates_ = 0;
   telemetry::MetricId c_acks_sent_ = 0;
   telemetry::MetricId c_acks_received_ = 0;
+
+  // -- causal tracing state (only exercised when kEnabled) ---------------
+  std::uint64_t trace_sample_period_ = 0;
+  std::uint64_t root_countdown_ = 0;
+  std::uint64_t trace_seq_ = 0;
+  TraceContext active_ctx_;
+  telemetry::MetricId c_traced_sends_ = 0;
+  telemetry::MetricId h_queue_latency_ = 0;   ///< submit → handler start
+  telemetry::MetricId h_handler_time_ = 0;    ///< traced handler duration
+  telemetry::MetricId h_dgram_queue_ = 0;     ///< post → collect, all dgrams
 
   // -- retry/dedup protocol state (empty unless reliable_) ---------------
   bool reliable_ = false;

@@ -9,7 +9,10 @@
 
 namespace dnnd::comm {
 
-Environment::Environment(Config config) : config_(config) {
+Environment::Environment(Config config)
+    : config_(config),
+      sampler_(config.timeseries_tick_us),
+      epoch_us_(telemetry::now_us()) {
   if (config_.num_ranks < 1) {
     throw std::invalid_argument("Environment: num_ranks < 1");
   }
@@ -22,9 +25,11 @@ Environment::Environment(Config config) : config_(config) {
   h_barrier_wait_.reserve(static_cast<std::size_t>(config_.num_ranks));
   for (int r = 0; r < config_.num_ranks; ++r) {
     comms_.push_back(std::make_unique<Communicator>(
-        *world_, r, config_.send_buffer_bytes, config_.retry));
+        *world_, r, config_.send_buffer_bytes, config_.retry,
+        config_.trace_sample_period));
     h_barrier_wait_.push_back(
         comms_.back()->telemetry().histogram("comm.barrier_wait_us"));
+    sampler_.attach(r, &comms_.back()->telemetry().metrics());
   }
 }
 
@@ -36,6 +41,10 @@ void Environment::execute_phase(const std::function<void(int)>& fn) {
   } else {
     run_threaded(fn);
   }
+  // Tick-driven snapshots happen at phase boundaries (quiescent state), so
+  // a snapshot never observes a rank mid-handler. maybe_sample is a single
+  // compare when the tick period is 0 or not yet elapsed.
+  if constexpr (telemetry::kEnabled) sampler_.maybe_sample("tick");
 }
 
 void Environment::quiesce() {
@@ -86,8 +95,12 @@ void Environment::record_barrier_wait(int rank, double seconds) {
     comms_[r]->telemetry().record_clamped(h_barrier_wait_[r], us);
     const std::uint64_t end = telemetry::now_us();
     const auto dur = static_cast<std::uint64_t>(us);
-    comms_[r]->telemetry().add_trace_event(telemetry::TraceEvent{
-        "barrier_wait", "comm", end > dur ? end - dur : 0, dur, 0});
+    telemetry::TraceEvent e;
+    e.name = "barrier_wait";
+    e.category = "comm";
+    e.ts_us = end > dur ? end - dur : 0;
+    e.dur_us = dur;
+    comms_[r]->telemetry().add_trace_event(std::move(e));
   }
 }
 
@@ -143,7 +156,17 @@ void Environment::write_metrics_json(std::ostream& os) const {
      << ",\"acks_received\":" << transport.acks_received << '}'
      << ",\"metrics\":";
   aggregate_metrics().write_json(os);
-  os << '}';
+  // Per-rank registries drive the load-skew analysis (`dnnd_cli stats`):
+  // the merged view above cannot distinguish a balanced run from one
+  // straggler doing all the work.
+  os << ",\"per_rank\":[";
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    if (r != 0) os << ',';
+    os << "{\"rank\":" << r << ",\"metrics\":";
+    comms_[static_cast<std::size_t>(r)]->telemetry().metrics().write_json(os);
+    os << '}';
+  }
+  os << "]}";
 }
 
 void Environment::write_chrome_trace(std::ostream& os) const {
@@ -153,11 +176,16 @@ void Environment::write_chrome_trace(std::ostream& os) const {
     ranks.push_back(telemetry::RankTrace{
         r, &comms_[static_cast<std::size_t>(r)]->telemetry().trace()});
   }
-  telemetry::write_chrome_trace(os, ranks);
+  telemetry::write_chrome_trace(os, ranks, epoch_us_);
+}
+
+void Environment::write_timeseries_json(std::ostream& os) const {
+  sampler_.write_json(os, telemetry::kEnabled, epoch_us_);
 }
 
 void Environment::export_telemetry(const std::string& metrics_path,
-                                   const std::string& trace_path) const {
+                                   const std::string& trace_path,
+                                   const std::string& timeseries_path) const {
   std::ofstream metrics(metrics_path);
   if (!metrics) {
     throw std::runtime_error("Environment: cannot open " + metrics_path);
@@ -170,6 +198,14 @@ void Environment::export_telemetry(const std::string& metrics_path,
   }
   write_chrome_trace(trace);
   trace << '\n';
+  if (!timeseries_path.empty()) {
+    std::ofstream timeseries(timeseries_path);
+    if (!timeseries) {
+      throw std::runtime_error("Environment: cannot open " + timeseries_path);
+    }
+    write_timeseries_json(timeseries);
+    timeseries << '\n';
+  }
 }
 
 }  // namespace dnnd::comm

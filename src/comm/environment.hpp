@@ -30,6 +30,7 @@
 #include "comm/communicator.hpp"
 #include "mpi/fault_injector.hpp"
 #include "mpi/world.hpp"
+#include "telemetry/sampler.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace dnnd::comm {
@@ -50,6 +51,17 @@ struct Config {
   mpi::FaultPlan fault_plan;
   /// Retry/dedup protocol knobs; only consulted when fault_plan is active.
   RetryConfig retry;
+  /// Causal-tracing sample period: every Nth root message starts a traced
+  /// chain (flow events + handler child spans in trace.json). 0 disables
+  /// tracing — zero trace bytes on the wire. Ignored when the library is
+  /// built with DNND_TELEMETRY=OFF.
+  std::uint64_t trace_sample_period = 0;
+  /// Time-series tick: when non-zero, the driver snapshots every
+  /// registered counter/gauge at most once per this many microseconds (at
+  /// phase boundaries). Explicit snapshots (e.g. the runner's
+  /// per-iteration hook) are independent of the tick. 0 disables the tick
+  /// path at the cost of a single integer compare per barrier.
+  std::uint64_t timeseries_tick_us = 0;
 };
 
 class Environment {
@@ -110,6 +122,24 @@ class Environment {
   /// built with DNND_TELEMETRY=OFF.
   [[nodiscard]] telemetry::MetricsRegistry aggregate_metrics() const;
 
+  /// Time-series sampler attached to every rank's registry. Callers (the
+  /// NN-Descent runner) take explicit snapshots via sample_timeseries();
+  /// the driver additionally ticks it at phase boundaries when
+  /// Config::timeseries_tick_us is non-zero.
+  [[nodiscard]] telemetry::Sampler& sampler() noexcept { return sampler_; }
+
+  /// Takes one labelled snapshot of every rank's counters/gauges now.
+  /// Compiles to nothing under DNND_TELEMETRY=OFF — the document is then
+  /// emitted with zero snapshots (schema stays valid; tooling sees no
+  /// data, not a parse error).
+  void sample_timeseries(const std::string& label) {
+    if constexpr (telemetry::kEnabled) sampler_.sample(label);
+  }
+
+  /// Writes the captured snapshots as a dnnd.timeseries.v1 document,
+  /// timestamps relative to this run's epoch.
+  void write_timeseries_json(std::ostream& os) const;
+
   /// Writes the merged machine-readable metrics document:
   ///   {"schema":"dnnd.metrics.v1","enabled":...,"ranks":N,
   ///    "handlers":[per-label send counters],"transport":{...},
@@ -120,12 +150,16 @@ class Environment {
 
   /// Writes all ranks' trace buffers as one Chrome trace (catapult JSON;
   /// load in chrome://tracing or Perfetto). pid = rank, tid = driver
-  /// thread within the rank.
+  /// thread within the rank. Timestamps are relative to this run's epoch
+  /// (the Environment's construction time on the shared monotonic clock),
+  /// so t=0 is run start on every rank.
   void write_chrome_trace(std::ostream& os) const;
 
-  /// Convenience file form of the two exporters above.
+  /// Convenience file form of the exporters above. An empty
+  /// timeseries_path skips the time-series document.
   void export_telemetry(const std::string& metrics_path,
-                        const std::string& trace_path) const;
+                        const std::string& trace_path,
+                        const std::string& timeseries_path = {}) const;
 
   /// Resets every rank's message counters (between experiment sections).
   void reset_stats();
@@ -142,6 +176,10 @@ class Environment {
   std::unique_ptr<mpi::World> world_;
   std::vector<std::unique_ptr<Communicator>> comms_;
   std::vector<telemetry::MetricId> h_barrier_wait_;  ///< per-rank histogram id
+  telemetry::Sampler sampler_;
+  /// Run epoch on the shared monotonic clock; exporters subtract it so all
+  /// artifacts (trace, timeseries) start at t=0 for this run.
+  std::uint64_t epoch_us_ = 0;
 };
 
 }  // namespace dnnd::comm

@@ -317,6 +317,9 @@ class DnndRunner {
       stats.total_updates += c;
       env_->telemetry(0).add(c_iterations_);
       env_->telemetry(0).record(h_updates_per_iter_, c);
+      // One time-series snapshot per NN-Descent iteration: the per-rank
+      // counter deltas between snapshots are what the stats tool plots.
+      env_->sample_timeseries("iteration");
       if (c < threshold || c == 0) break;
     }
   }

@@ -1,0 +1,283 @@
+#include "telemetry/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace dnnd::telemetry {
+namespace {
+
+using util::json::Value;
+
+std::uint64_t percentile_of(std::vector<std::uint64_t>& samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+/// True for metric names whose value is a wall-clock quantity — excluded
+/// from regression diffs because they vary run to run and machine to
+/// machine, unlike message/update counts.
+bool is_time_valued(const std::string& name) {
+  return name.ends_with("_us") || name.ends_with("_seconds") ||
+         name.ends_with("_ticks");
+}
+
+/// Flattens the deterministic counters of a dnnd.metrics.v1 document into
+/// a single name → value map with namespaced keys. Registry counters are
+/// included only when `with_registry` — handler/transport message stats
+/// are always-on, but the metrics registry compiles to a no-op under
+/// DNND_TELEMETRY=OFF, so cross-flavour diffs must not treat its absence
+/// as a regression.
+std::map<std::string, double> flatten_counters(const Value& doc,
+                                               bool with_registry) {
+  std::map<std::string, double> out;
+  for (const auto& h : doc.at("handlers").as_array()) {
+    const std::string label = h.at("label").as_string();
+    for (const char* field : {"remote_messages", "remote_bytes",
+                              "local_messages", "local_bytes"}) {
+      out["handler." + label + "." + field] = h.at(field).as_number();
+    }
+  }
+  for (const auto& [key, value] : doc.at("transport").as_object()) {
+    out["transport." + key] = value.as_number();
+  }
+  if (with_registry) {
+    for (const auto& [name, value] :
+         doc.at("metrics").at("counters").as_object()) {
+      if (is_time_valued(name)) continue;
+      out["counter." + name] = value.as_number();
+    }
+  }
+  return out;
+}
+
+/// A document records whether telemetry was compiled in; tolerate legacy
+/// documents without the field by assuming enabled.
+bool doc_enabled(const Value& doc) {
+  return !doc.contains("enabled") || doc.at("enabled").as_bool();
+}
+
+}  // namespace
+
+LoadReport analyze_load(const Value& trace_doc, double straggler_factor) {
+  const auto& events = trace_doc.at("traceEvents").as_array();
+  std::map<int, RankLoad> per_rank;
+  std::vector<std::uint64_t> queue_samples;
+  std::set<std::uint64_t> started, finished;
+
+  for (const auto& e : events) {
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "s" || ph == "f") {
+      // Flow ids are hex strings shared between the send ('s') and the
+      // receive ('f') side; parse for matching.
+      const std::uint64_t id =
+          std::stoull(e.at("id").as_string(), nullptr, 16);
+      (ph == "s" ? started : finished).insert(id);
+      continue;
+    }
+    if (ph != "X") continue;
+    const int pid = static_cast<int>(e.at("pid").as_number());
+    auto& load = per_rank[pid];
+    load.rank = pid;
+    ++load.spans;
+    const auto dur = static_cast<std::uint64_t>(e.at("dur").as_number());
+    const std::string& cat = e.at("cat").as_string();
+    if (e.at("name").as_string() == "barrier_wait") {
+      load.barrier_us += dur;
+    } else if (cat == "handler") {
+      load.handler_us += dur;
+      if (e.contains("args") && e.at("args").contains("queue_us")) {
+        queue_samples.push_back(
+            static_cast<std::uint64_t>(e.at("args").at("queue_us").as_number()));
+      }
+    } else if (cat == "phase") {
+      load.phase_us += dur;
+    }
+  }
+
+  LoadReport report;
+  std::uint64_t total_work = 0, total_barrier = 0;
+  for (auto& [rank, load] : per_rank) {
+    total_work += load.work_us();
+    total_barrier += load.barrier_us;
+    report.max_work_us = std::max(report.max_work_us, load.work_us());
+    report.ranks.push_back(load);
+  }
+  if (!report.ranks.empty()) {
+    report.mean_work_us = static_cast<double>(total_work) /
+                          static_cast<double>(report.ranks.size());
+  }
+  if (report.mean_work_us > 0.0) {
+    report.max_over_mean =
+        static_cast<double>(report.max_work_us) / report.mean_work_us;
+    for (const auto& load : report.ranks) {
+      if (static_cast<double>(load.work_us()) >
+          straggler_factor * report.mean_work_us) {
+        report.stragglers.push_back(load.rank);
+      }
+    }
+  }
+  if (total_work + total_barrier > 0) {
+    report.barrier_share = static_cast<double>(total_barrier) /
+                           static_cast<double>(total_work + total_barrier);
+  }
+  report.queue_samples = queue_samples.size();
+  report.queue_p50_us = percentile_of(queue_samples, 0.50);
+  report.queue_p99_us = percentile_of(queue_samples, 0.99);
+  report.flows_started = started.size();
+  report.flows_finished = finished.size();
+  for (const std::uint64_t id : started) {
+    if (finished.contains(id)) ++report.flows_matched;
+  }
+  return report;
+}
+
+DiffReport diff_metrics(const Value& baseline, const Value& current,
+                        double tolerance_pct) {
+  const bool registries = doc_enabled(baseline) && doc_enabled(current);
+  const auto base = flatten_counters(baseline, registries);
+  const auto cur = flatten_counters(current, registries);
+  const double tol = tolerance_pct / 100.0;
+  DiffReport report;
+
+  for (const auto& [name, base_value] : base) {
+    const auto it = cur.find(name);
+    if (it == cur.end()) {
+      // A zero that vanished is not a behaviour change; a non-zero one is.
+      if (base_value != 0.0) report.only_in_baseline.push_back(name);
+      continue;
+    }
+    MetricDelta delta;
+    delta.name = name;
+    delta.baseline = base_value;
+    delta.current = it->second;
+    if (base_value == 0.0) {
+      delta.rel_change = it->second == 0.0
+                             ? 0.0
+                             : std::numeric_limits<double>::infinity();
+      delta.violated = it->second != 0.0;
+    } else {
+      delta.rel_change = (it->second - base_value) / base_value;
+      delta.violated = std::abs(delta.rel_change) > tol;
+    }
+    ++report.compared;
+    if (delta.violated) ++report.violations;
+    report.deltas.push_back(std::move(delta));
+  }
+  for (const auto& [name, value] : cur) {
+    if (!base.contains(name) && value != 0.0) {
+      report.only_in_current.push_back(name);
+    }
+  }
+  // Violations first so a truncated terminal still shows what failed.
+  std::stable_sort(report.deltas.begin(), report.deltas.end(),
+                   [](const MetricDelta& a, const MetricDelta& b) {
+                     return a.violated > b.violated;
+                   });
+  return report;
+}
+
+TimeseriesSummary summarize_timeseries(const Value& timeseries_doc) {
+  TimeseriesSummary summary;
+  summary.enabled = timeseries_doc.at("enabled").as_bool();
+  const auto& snapshots = timeseries_doc.at("snapshots").as_array();
+  summary.snapshots = snapshots.size();
+  for (const auto& s : snapshots) {
+    if (s.at("label").as_string() == "iteration") {
+      ++summary.iteration_snapshots;
+    }
+  }
+  if (!snapshots.empty()) {
+    const auto first =
+        static_cast<std::uint64_t>(snapshots.front().at("t_us").as_number());
+    const auto last =
+        static_cast<std::uint64_t>(snapshots.back().at("t_us").as_number());
+    summary.span_us = last >= first ? last - first : 0;
+  }
+  return summary;
+}
+
+void print_load_report(std::ostream& os, const LoadReport& report,
+                       double straggler_factor) {
+  os << "per-rank load (" << report.ranks.size() << " ranks)\n";
+  for (const auto& load : report.ranks) {
+    os << "  rank " << load.rank << ": work " << load.work_us()
+       << " us (handler " << load.handler_us << ", phase " << load.phase_us
+       << "), barrier " << load.barrier_us << " us, " << load.spans
+       << " spans\n";
+  }
+  std::ostringstream skew;
+  skew.precision(2);
+  skew << std::fixed << report.max_over_mean;
+  os << "load skew: max/mean = " << skew.str() << " (mean "
+     << static_cast<std::uint64_t>(report.mean_work_us) << " us, max "
+     << report.max_work_us << " us)\n";
+  if (report.stragglers.empty()) {
+    os << "stragglers (> " << straggler_factor << "x mean): none\n";
+  } else {
+    os << "stragglers (> " << straggler_factor << "x mean):";
+    for (const int r : report.stragglers) os << " rank " << r;
+    os << '\n';
+  }
+  std::ostringstream share;
+  share.precision(1);
+  share << std::fixed << report.barrier_share * 100.0;
+  os << "barrier-wait share: " << share.str() << "%\n";
+  os << "traced queue latency: p50 " << report.queue_p50_us << " us, p99 "
+     << report.queue_p99_us << " us (" << report.queue_samples
+     << " samples)\n";
+  os << "causal flows: " << report.flows_matched << " matched ("
+     << report.flows_started << " started, " << report.flows_finished
+     << " finished)\n";
+}
+
+void print_diff_report(std::ostream& os, const DiffReport& report,
+                       double tolerance_pct) {
+  os << "compared " << report.compared << " counters at " << tolerance_pct
+     << "% tolerance: " << report.violations << " out of tolerance\n";
+  for (const auto& delta : report.deltas) {
+    if (!delta.violated) continue;
+    std::ostringstream pct;
+    pct.precision(1);
+    pct << std::fixed << delta.rel_change * 100.0;
+    os << "  VIOLATION " << delta.name << ": " << delta.baseline << " -> "
+       << delta.current << " (" << pct.str() << "%)\n";
+  }
+  for (const auto& name : report.only_in_baseline) {
+    os << "  VIOLATION " << name << ": present only in baseline\n";
+  }
+  for (const auto& name : report.only_in_current) {
+    os << "  VIOLATION " << name << ": present only in current\n";
+  }
+  os << (report.within_tolerance() ? "PASS" : "FAIL") << '\n';
+}
+
+void print_timeseries_summary(std::ostream& os,
+                              const TimeseriesSummary& summary) {
+  os << "timeseries: " << summary.snapshots << " snapshots ("
+     << summary.iteration_snapshots << " per-iteration) over "
+     << summary.span_us << " us"
+     << (summary.enabled ? "" : " [telemetry disabled]") << '\n';
+}
+
+std::optional<util::json::Value> load_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  const std::string text = buffer.str();
+  if (text.empty()) return std::nullopt;
+  return util::json::parse(text);
+}
+
+}  // namespace dnnd::telemetry

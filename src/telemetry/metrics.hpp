@@ -102,6 +102,29 @@ class LogHistogram {
     return (std::uint64_t{1} << i) - 1;
   }
 
+  /// Approximate percentile (p in [0,1]) from the log2 buckets: the upper
+  /// bound of the bucket holding the p-th sample, clamped to the observed
+  /// [min, max]. Exact for values that landed in single-value buckets
+  /// (0 and 1); otherwise accurate to one bucket width — good enough for
+  /// the order-of-magnitude latency questions the stats tooling answers.
+  [[nodiscard]] double percentile(double p) const noexcept {
+    if (count_ == 0) return 0.0;
+    if (p < 0.0) p = 0.0;
+    if (p > 1.0) p = 1.0;
+    const double target = p * static_cast<double>(count_);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+      cumulative += static_cast<double>(buckets_[i]);
+      if (cumulative >= target && buckets_[i] != 0) {
+        const auto upper = static_cast<double>(bucket_upper(i));
+        const auto lo = static_cast<double>(min_);
+        const auto hi = static_cast<double>(max_);
+        return upper < lo ? lo : (upper > hi ? hi : upper);
+      }
+    }
+    return static_cast<double>(max_);
+  }
+
   void merge(const LogHistogram& other) noexcept {
     for (std::size_t i = 0; i < kNumBuckets; ++i) {
       buckets_[i] += other.buckets_[i];
@@ -127,6 +150,18 @@ class LogHistogram {
 
 class MetricsRegistry {
  public:
+  /// One named metric's full state. Public so read-only consumers (the
+  /// time-series Sampler, exporters, tests) can walk the registry in
+  /// registration order without a name round-trip per metric.
+  struct Metric {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t counter = 0;
+    std::int64_t gauge = 0;
+    std::int64_t gauge_peak = std::numeric_limits<std::int64_t>::min();
+    LogHistogram hist;
+  };
+
   /// Register-or-lookup by name. Registering an existing name with the
   /// same kind returns the original id (so independently constructed
   /// subsystems can share a metric); a different kind throws.
@@ -175,6 +210,10 @@ class MetricsRegistry {
   [[nodiscard]] const LogHistogram& histogram_of(std::string_view name) const {
     return find(name, MetricKind::kHistogram).hist;
   }
+  /// All metrics in registration order (stable across a run).
+  [[nodiscard]] const std::vector<Metric>& all() const noexcept {
+    return metrics_;
+  }
 
   /// Merges by name (see file header for per-kind semantics). Strong
   /// exception guarantee: a kind conflict throws std::invalid_argument
@@ -194,15 +233,6 @@ class MetricsRegistry {
   void write_json(std::ostream& os) const;
 
  private:
-  struct Metric {
-    std::string name;
-    MetricKind kind = MetricKind::kCounter;
-    std::uint64_t counter = 0;
-    std::int64_t gauge = 0;
-    std::int64_t gauge_peak = std::numeric_limits<std::int64_t>::min();
-    LogHistogram hist;
-  };
-
   MetricId intern(std::string_view name, MetricKind kind);
   [[nodiscard]] const Metric& find(std::string_view name,
                                    MetricKind kind) const;

@@ -1,0 +1,103 @@
+// Live time-series sampler: periodic snapshots of every registered
+// counter and gauge, across all ranks, into timeseries.json.
+//
+// Aggregate metrics (metrics.json) answer "how much total"; the paper's
+// §4.4 congestion questions — does the batch cadence cause inbox bursts,
+// which rank's distance-eval counter stalls a barrier — need "how much,
+// when, on which rank". The Sampler provides that: the runner snapshots
+// after every NN-Descent iteration, and the Environment optionally
+// snapshots on a configurable wall-clock tick between phases.
+//
+// Cost model: a snapshot walks each rank's registry once (setup-scale
+// metric counts, called once per iteration/tick — never on the message
+// hot path). With tick_period_us == 0 the tick path is a single integer
+// compare; under DNND_TELEMETRY=OFF the Environment never constructs
+// snapshots at all, so the class costs nothing beyond its definition
+// (it stays compiled and unit-testable, like the registry).
+//
+// Determinism: the clock is injectable (tests pin a fake clock), and
+// snapshots copy values in registration order, so for a fixed schedule of
+// sample() calls the JSON document is byte-stable.
+//
+// Thread safety: none. Snapshots are taken between phases on the driver
+// thread, when no rank thread is recording (the same discipline as
+// Environment::aggregate_metrics).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.hpp"
+
+namespace dnnd::telemetry {
+
+/// One rank's metric values at one instant (names in registration order).
+struct RankSample {
+  int rank = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// name → (value, peak-so-far)
+  std::vector<std::pair<std::string, std::pair<std::int64_t, std::int64_t>>>
+      gauges;
+};
+
+/// One cross-rank snapshot.
+struct Snapshot {
+  std::uint64_t t_us = 0;  ///< clock at snapshot time
+  std::uint64_t seq = 0;   ///< 1-based snapshot index
+  std::string label;       ///< "iteration", "tick", or caller-provided
+  std::vector<RankSample> ranks;
+};
+
+class Sampler {
+ public:
+  using Clock = std::function<std::uint64_t()>;
+
+  /// `tick_period_us` gates maybe_sample(): 0 disables the tick path
+  /// entirely (explicit sample() calls still record). `clock` defaults to
+  /// telemetry::now_us; tests inject a fake for determinism.
+  explicit Sampler(std::uint64_t tick_period_us = 0, Clock clock = {});
+
+  /// Registers `registry` as rank `rank`'s source. Pointers must outlive
+  /// the sampler; attach order defines the per-snapshot rank order.
+  void attach(int rank, const MetricsRegistry* registry);
+
+  /// Takes a snapshot unconditionally (the per-iteration hook).
+  void sample(std::string_view label);
+
+  /// Takes a snapshot iff the tick period is non-zero and has elapsed
+  /// since the previous snapshot (any label). Returns whether it sampled.
+  bool maybe_sample(std::string_view label);
+
+  [[nodiscard]] const std::vector<Snapshot>& snapshots() const noexcept {
+    return snapshots_;
+  }
+  [[nodiscard]] std::uint64_t tick_period_us() const noexcept {
+    return tick_period_us_;
+  }
+  void clear() noexcept { snapshots_.clear(); }
+
+  /// Emits the dnnd.timeseries.v1 document:
+  ///   {"schema":"dnnd.timeseries.v1","enabled":...,"ranks":N,
+  ///    "tick_us":...,"snapshots":[{"t_us":...,"seq":...,"label":...,
+  ///    "per_rank":[{"rank":r,"counters":{...},
+  ///                 "gauges":{name:{"value":v,"peak":p}}},...]},...]}
+  /// Timestamps are relative to `origin_us` (clamped at zero), matching
+  /// the Chrome-trace export so the two artifacts share a timeline.
+  void write_json(std::ostream& os, bool enabled,
+                  std::uint64_t origin_us = 0) const;
+
+ private:
+  std::uint64_t tick_period_us_;
+  Clock clock_;
+  std::uint64_t last_sample_us_ = 0;
+  bool sampled_once_ = false;
+  std::vector<std::pair<int, const MetricsRegistry*>> sources_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace dnnd::telemetry

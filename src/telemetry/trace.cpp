@@ -1,24 +1,29 @@
 #include "telemetry/trace.hpp"
 
-#include <chrono>
+#include <cstdio>
 #include <ostream>
 #include <set>
 
+#include "util/clock.hpp"
 #include "util/json.hpp"
 
 namespace dnnd::telemetry {
 
-std::uint64_t now_us() {
-  using clock = std::chrono::steady_clock;
-  static const clock::time_point epoch = clock::now();
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
-                                                            epoch)
-          .count());
+std::uint64_t now_us() { return util::monotonic_us(); }
+
+std::string hex_id(std::uint64_t id) {
+  char buf[19];  // "0x" + 16 hex digits + NUL
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(id));
+  return buf;
 }
 
-void write_chrome_trace(std::ostream& os, std::span<const RankTrace> ranks) {
+void write_chrome_trace(std::ostream& os, std::span<const RankTrace> ranks,
+                        std::uint64_t origin_us) {
   using util::json::write_string;
+  const auto rel = [origin_us](std::uint64_t ts) {
+    return ts >= origin_us ? ts - origin_us : 0;
+  };
   os << "{\"traceEvents\":[";
   bool first = true;
   const auto sep = [&] {
@@ -46,8 +51,17 @@ void write_chrome_trace(std::ostream& os, std::span<const RankTrace> ranks) {
       write_string(os, e.name);
       os << ",\"cat\":";
       write_string(os, e.category);
-      os << ",\"ph\":\"X\",\"ts\":" << e.ts_us << ",\"dur\":" << e.dur_us
-         << ",\"pid\":" << rt.rank << ",\"tid\":" << e.tid << '}';
+      os << ",\"ph\":\"" << e.ph << "\",\"ts\":" << rel(e.ts_us);
+      if (e.ph == 'X') os << ",\"dur\":" << e.dur_us;
+      os << ",\"pid\":" << rt.rank << ",\"tid\":" << e.tid;
+      if (e.ph == 's' || e.ph == 'f' || e.ph == 't') {
+        os << ",\"id\":\"" << hex_id(e.flow_id) << '"';
+        // Bind the arrowhead to the enclosing slice (the receive-side
+        // handler span), not the next slice to start.
+        if (e.ph == 'f') os << ",\"bp\":\"e\"";
+      }
+      if (!e.args.empty()) os << ",\"args\":" << e.args;
+      os << '}';
     }
   }
   os << "],\"displayTimeUnit\":\"ms\"}";

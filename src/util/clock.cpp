@@ -1,0 +1,16 @@
+#include "util/clock.hpp"
+
+#include <chrono>
+
+namespace dnnd::util {
+
+std::uint64_t monotonic_us() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                            epoch)
+          .count());
+}
+
+}  // namespace dnnd::util

@@ -5,6 +5,10 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <utility>
+
+#include "util/clock.hpp"
+#include "util/json.hpp"
 
 namespace dnnd::util {
 namespace {
@@ -19,10 +23,28 @@ LogLevel level_from_env() {
   return LogLevel::kWarn;
 }
 
+LogFormat format_from_env() {
+  const char* env = std::getenv("DNND_LOG_FORMAT");
+  if (env != nullptr && std::strcmp(env, "json") == 0) return LogFormat::kJson;
+  return LogFormat::kText;
+}
+
 std::atomic<int>& level_storage() {
   static std::atomic<int> level{static_cast<int>(level_from_env())};
   return level;
 }
+
+std::atomic<int>& format_storage() {
+  static std::atomic<int> format{static_cast<int>(format_from_env())};
+  return format;
+}
+
+std::function<void(std::string_view)>& sink_storage() {
+  static std::function<void(std::string_view)> sink;
+  return sink;
+}
+
+thread_local std::uint64_t t_active_trace = 0;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -42,12 +64,63 @@ void set_log_level(LogLevel level) {
   level_storage().store(static_cast<int>(level));
 }
 
+LogFormat log_format() {
+  return static_cast<LogFormat>(format_storage().load());
+}
+
+void set_log_format(LogFormat format) {
+  format_storage().store(static_cast<int>(format));
+}
+
+void set_log_sink(std::function<void(std::string_view)> sink) {
+  sink_storage() = std::move(sink);
+}
+
+void set_active_trace(std::uint64_t trace_id) noexcept {
+  t_active_trace = trace_id;
+}
+
+std::uint64_t active_trace() noexcept { return t_active_trace; }
+
 void log_line(LogLevel level, int rank, const std::string& message) {
   if (static_cast<int>(level) > level_storage().load()) return;
-  // One mutex-protected fwrite per line keeps lines whole under the
+  // One mutex-protected write per line keeps lines whole under the
   // threaded driver without any per-message allocation on the fast path.
   static std::mutex io_mutex;
   const std::lock_guard<std::mutex> lock(io_mutex);
+  if (log_format() == LogFormat::kJson) {
+    // Same monotonic clock as trace.json/timeseries.json; same hex id
+    // spelling as the flow events — the line joins the trace by string
+    // equality, no offline clock alignment needed.
+    std::ostringstream os;
+    os << "{\"ts_us\":" << monotonic_us() << ",\"level\":\""
+       << level_name(level) << '"';
+    if (rank >= 0) os << ",\"rank\":" << rank;
+    if (t_active_trace != 0) {
+      char buf[19];
+      std::snprintf(buf, sizeof buf, "0x%llx",
+                    static_cast<unsigned long long>(t_active_trace));
+      os << ",\"trace\":\"" << buf << '"';
+    }
+    os << ",\"msg\":";
+    json::write_string(os, message);
+    os << '}';
+    const std::string line = os.str();
+    if (sink_storage()) {
+      sink_storage()(line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
+    return;
+  }
+  if (sink_storage()) {
+    std::string line = "[dnnd ";
+    line += level_name(level);
+    if (rank >= 0) line += " r" + std::to_string(rank);
+    line += "] " + message;
+    sink_storage()(line);
+    return;
+  }
   if (rank >= 0) {
     std::fprintf(stderr, "[dnnd %s r%d] %s\n", level_name(level), rank,
                  message.c_str());

@@ -1,23 +1,52 @@
-// Minimal leveled logger.
+// Minimal leveled logger with an optional structured-JSON line format.
 //
 // Distributed algorithms produce per-rank diagnostics; the logger prefixes
 // the rank (when set) so interleaved output stays attributable. Output goes
-// to stderr; the level is process-global and settable from DNND_LOG_LEVEL.
+// to stderr by default; the level is process-global and settable from
+// DNND_LOG_LEVEL.
+//
+// Telemetry correlation: set DNND_LOG_FORMAT=json (or set_log_format) and
+// every line becomes one JSON object with a timestamp on the same
+// monotonic clock as trace.json / timeseries.json, plus the calling
+// thread's active trace id when a sampled message is being handled (the
+// comm layer maintains it around traced handler dispatch). Grepping a
+// trace id from trace.json across the log then yields exactly the lines
+// that ran on behalf of that message chain.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace dnnd::util {
 
 enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+enum class LogFormat : int { kText = 0, kJson = 1 };
 
 /// Returns the process-wide log level (initialized once from the
 /// DNND_LOG_LEVEL environment variable: error|warn|info|debug).
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-/// Writes one formatted line to stderr if `level` is enabled.
+/// Process-wide line format (initialized once from DNND_LOG_FORMAT:
+/// text|json; default text).
+LogFormat log_format();
+void set_log_format(LogFormat format);
+
+/// Redirects formatted lines (without trailing newline) away from stderr —
+/// for tests and embedders. Pass nullptr to restore stderr. Not
+/// thread-safe against concurrent log_line calls; install before logging.
+void set_log_sink(std::function<void(std::string_view)> sink);
+
+/// The calling thread's active trace id (0 = none). The communicator sets
+/// it while a traced message's handler runs so log lines emitted from
+/// handler code carry the id that trace.json's flow events use.
+void set_active_trace(std::uint64_t trace_id) noexcept;
+[[nodiscard]] std::uint64_t active_trace() noexcept;
+
+/// Writes one formatted line if `level` is enabled.
 /// `rank` < 0 means "not rank-attributed" (single-process context).
 void log_line(LogLevel level, int rank, const std::string& message);
 

@@ -1,0 +1,169 @@
+// Offline analyzer tests: load-skew / straggler detection over a
+// hand-written Chrome trace, the tolerance-based metrics diff, and the
+// timeseries summary. Documents are authored as strings so each test
+// pins the exact artifact shape the real exporters emit.
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/analysis.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using dnnd::telemetry::analyze_load;
+using dnnd::telemetry::diff_metrics;
+using dnnd::telemetry::summarize_timeseries;
+namespace json = dnnd::util::json;
+
+// A two-rank trace: rank 1 does 4x rank 0's work, one matched cross-rank
+// flow pair plus one dangling start, and queue_us samples on the handler
+// spans.
+const char* kTrace = R"({"traceEvents":[
+  {"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"rank 0"}},
+  {"name":"sample","cat":"phase","ph":"X","ts":0,"dur":100,"pid":0,"tid":0},
+  {"name":"recv.type2","cat":"handler","ph":"X","ts":150,"dur":100,"pid":0,
+   "tid":0,"args":{"trace":"0x1","span":"0x2","hop":1,"src":1,"queue_us":10}},
+  {"name":"barrier_wait","cat":"comm","ph":"X","ts":300,"dur":400,"pid":0,
+   "tid":0},
+  {"name":"type2","cat":"flow","ph":"s","ts":10,"pid":0,"tid":0,"id":"0xa"},
+  {"name":"type9","cat":"flow","ph":"s","ts":11,"pid":0,"tid":0,"id":"0xdead"},
+  {"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"rank 1"}},
+  {"name":"sample","cat":"phase","ph":"X","ts":0,"dur":500,"pid":1,"tid":0},
+  {"name":"recv.type3","cat":"handler","ph":"X","ts":600,"dur":300,"pid":1,
+   "tid":0,"args":{"trace":"0x1","span":"0x3","hop":2,"src":0,"queue_us":90}},
+  {"name":"recv.type2","cat":"handler","ph":"X","ts":950,"dur":0,"pid":1,
+   "tid":0,"args":{"trace":"0x1","span":"0x4","hop":3,"src":0,"queue_us":20}},
+  {"name":"type2","cat":"flow","ph":"f","ts":20,"pid":1,"tid":0,"id":"0xa",
+   "bp":"e"}
+],"displayTimeUnit":"ms"})";
+
+TEST(AnalyzeLoad, ComputesSkewStragglersBarrierShareAndFlows) {
+  const auto report = analyze_load(json::parse(kTrace), 1.25);
+
+  ASSERT_EQ(report.ranks.size(), 2u);
+  EXPECT_EQ(report.ranks[0].rank, 0);
+  EXPECT_EQ(report.ranks[0].handler_us, 100u);
+  EXPECT_EQ(report.ranks[0].phase_us, 100u);
+  EXPECT_EQ(report.ranks[0].barrier_us, 400u);
+  EXPECT_EQ(report.ranks[1].work_us(), 800u);
+
+  // work: rank0 = 200, rank1 = 800 -> mean 500, max/mean = 1.6.
+  EXPECT_DOUBLE_EQ(report.mean_work_us, 500.0);
+  EXPECT_EQ(report.max_work_us, 800u);
+  EXPECT_DOUBLE_EQ(report.max_over_mean, 1.6);
+  ASSERT_EQ(report.stragglers.size(), 1u);
+  EXPECT_EQ(report.stragglers[0], 1);
+
+  // barrier share = 400 / (1000 + 400).
+  EXPECT_NEAR(report.barrier_share, 400.0 / 1400.0, 1e-9);
+
+  EXPECT_EQ(report.queue_samples, 3u);
+  EXPECT_EQ(report.queue_p50_us, 20u);
+  EXPECT_EQ(report.queue_p99_us, 90u);
+
+  EXPECT_EQ(report.flows_started, 2u);
+  EXPECT_EQ(report.flows_finished, 1u);
+  EXPECT_EQ(report.flows_matched, 1u);  // 0xa; 0xdead dangles
+}
+
+TEST(AnalyzeLoad, BalancedRunFlagsNoStragglers) {
+  const auto doc = json::parse(
+      R"({"traceEvents":[
+        {"name":"w","cat":"phase","ph":"X","ts":0,"dur":100,"pid":0,"tid":0},
+        {"name":"w","cat":"phase","ph":"X","ts":0,"dur":110,"pid":1,"tid":0}
+      ]})");
+  const auto report = analyze_load(doc, 1.25);
+  EXPECT_TRUE(report.stragglers.empty());
+  EXPECT_NEAR(report.max_over_mean, 110.0 / 105.0, 1e-9);
+}
+
+std::string metrics_doc(int msgs, int bytes, int retransmits, int evals) {
+  std::ostringstream os;
+  os << R"({"schema":"dnnd.metrics.v1","enabled":true,"ranks":2,"handlers":[)"
+     << R"({"label":"ping","remote_messages":)" << msgs
+     << R"(,"remote_bytes":)" << bytes
+     << R"(,"local_messages":0,"local_bytes":0}],)"
+     << R"("transport":{"retransmits":)" << retransmits
+     << R"(,"duplicates_suppressed":0,"acks_sent":0,"acks_received":0},)"
+     << R"("metrics":{"counters":{"engine.distance_evals":)" << evals
+     << R"(,"comm.barrier_wait_us":999},"gauges":{},"histograms":{}}})";
+  return os.str();
+}
+
+TEST(DiffMetrics, IdenticalDocumentsPassAtZeroTolerance) {
+  const auto doc = json::parse(metrics_doc(100, 4000, 0, 5000));
+  const auto report = diff_metrics(doc, doc, 0.0);
+  EXPECT_TRUE(report.within_tolerance());
+  EXPECT_EQ(report.violations, 0u);
+  // handler row (4 fields) + transport (4) + 1 counter; the _us-suffixed
+  // counter is wall-clock-valued and must be excluded from the diff.
+  EXPECT_EQ(report.compared, 9u);
+}
+
+TEST(DiffMetrics, DriftBeyondToleranceFailsAndSortsViolationsFirst) {
+  const auto base = json::parse(metrics_doc(100, 4000, 0, 5000));
+  const auto cur = json::parse(metrics_doc(103, 4000, 0, 5000));
+  EXPECT_TRUE(diff_metrics(base, cur, 5.0).within_tolerance());
+
+  const auto report = diff_metrics(base, cur, 1.0);
+  EXPECT_FALSE(report.within_tolerance());
+  EXPECT_EQ(report.violations, 1u);
+  ASSERT_FALSE(report.deltas.empty());
+  EXPECT_TRUE(report.deltas[0].violated);  // violations sort first
+  EXPECT_EQ(report.deltas[0].name, "handler.ping.remote_messages");
+  EXPECT_NEAR(report.deltas[0].rel_change, 0.03, 1e-9);
+}
+
+TEST(DiffMetrics, ZeroBaselineToleratesOnlyZero) {
+  const auto base = json::parse(metrics_doc(100, 4000, 0, 5000));
+  const auto cur = json::parse(metrics_doc(100, 4000, 7, 5000));
+  // retransmits 0 -> 7 violates at any tolerance.
+  EXPECT_FALSE(diff_metrics(base, cur, 1000.0).within_tolerance());
+}
+
+TEST(DiffMetrics, CountersPresentOnOneSideOnlyViolateUnlessZero) {
+  const auto base = json::parse(metrics_doc(100, 4000, 0, 5000));
+  auto with_extra = [](int value) {
+    std::string doc = metrics_doc(100, 4000, 0, 5000);
+    const std::string needle = "\"engine.distance_evals\"";
+    doc.insert(doc.find(needle),
+               "\"engine.new_counter\":" + std::to_string(value) + ",");
+    return json::parse(doc);
+  };
+  // A brand-new non-zero counter is a behaviour change...
+  const auto report = diff_metrics(base, with_extra(5), 50.0);
+  ASSERT_EQ(report.only_in_current.size(), 1u);
+  EXPECT_EQ(report.only_in_current[0], "counter.engine.new_counter");
+  EXPECT_FALSE(report.within_tolerance());
+  // ...but a zero-valued one (never-hit code path) is not.
+  EXPECT_TRUE(diff_metrics(base, with_extra(0), 50.0).within_tolerance());
+}
+
+TEST(SummarizeTimeseries, CountsSnapshotsAndIterations) {
+  const auto doc = json::parse(
+      R"({"schema":"dnnd.timeseries.v1","enabled":true,"ranks":2,"tick_us":0,
+          "snapshots":[
+            {"t_us":100,"seq":1,"label":"iteration","per_rank":[]},
+            {"t_us":200,"seq":2,"label":"tick","per_rank":[]},
+            {"t_us":450,"seq":3,"label":"iteration","per_rank":[]}
+          ]})");
+  const auto summary = summarize_timeseries(doc);
+  EXPECT_TRUE(summary.enabled);
+  EXPECT_EQ(summary.snapshots, 3u);
+  EXPECT_EQ(summary.iteration_snapshots, 2u);
+  EXPECT_EQ(summary.span_us, 350u);
+}
+
+TEST(LoadJsonFile, MissingFileIsNulloptCorruptFileThrows) {
+  EXPECT_FALSE(
+      dnnd::telemetry::load_json_file("/nonexistent/path.json").has_value());
+  const std::string path = ::testing::TempDir() + "corrupt.json";
+  { std::ofstream(path) << "{not json"; }
+  EXPECT_THROW((void)dnnd::telemetry::load_json_file(path),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Metrics regression gate: replays the deterministic reference build and
+# diffs its metrics.json against the committed baseline at 0% tolerance
+# via `dnnd_cli stats --diff` (exit 3 on drift).
+#
+# The reference run pins every source of nondeterminism:
+#   - synthetic fashion-mnist stand-in (seeded generator, fixed n)
+#   - sequential phase driver (the Environment default)
+#   - DNND_TRACE_SAMPLE_PERIOD=0, so no traced envelope bytes — trace
+#     varints encode wall-clock timestamps and would make remote_bytes
+#     vary run to run. With tracing off, an ON build's envelopes are
+#     byte-identical to an OFF build's, so the SAME baseline gates both
+#     matrix flavours: if a DNND_TELEMETRY=OFF binary ever produced
+#     different handler byte counts, telemetry would be leaking wire
+#     bytes and this gate would fail.
+#
+# Usage:
+#   tests/check_metrics_regression.sh <build-dir>            # gate
+#   tests/check_metrics_regression.sh <build-dir> --regen    # refresh
+#
+# --regen rewrites tests/baselines/metrics.json from the current binary;
+# commit the result when an intentional algorithm change shifts counters.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir=${1:?usage: tests/check_metrics_regression.sh <build-dir> [--regen]}
+regen=${2:-}
+cli="$build_dir/examples/dnnd_cli"
+baseline="tests/baselines/metrics.json"
+
+if [[ ! -x "$cli" ]]; then
+  echo "check_metrics_regression: $cli not built" >&2
+  exit 1
+fi
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+export DNND_TRACE_SAMPLE_PERIOD=0
+"$cli" gen fashion-mnist "$work/ds" 400 20 >/dev/null
+"$cli" build "$work/ds.base.fvecs" "$work/run" 8 4 >/dev/null
+
+if [[ "$regen" == "--regen" ]]; then
+  mkdir -p "$(dirname "$baseline")"
+  cp "$work/run.metrics.json" "$baseline"
+  echo "check_metrics_regression: baseline rewritten at $baseline"
+  exit 0
+fi
+
+if [[ ! -f "$baseline" ]]; then
+  echo "check_metrics_regression: no baseline at $baseline (run with --regen)" >&2
+  exit 1
+fi
+
+echo "== metrics regression gate ($build_dir) =="
+"$cli" stats --diff "$baseline" "$work/run.metrics.json" --tolerance 0

@@ -40,6 +40,11 @@ for name in "${selected[@]}"; do
   cmake -B "$build_dir" -S . ${configs[$name]}
   cmake --build "$build_dir" -j
   (cd "$build_dir" && ctest -L tier1 --output-on-failure -j "$(nproc)")
+  # Metrics regression gate in every flavour: the baseline is recorded
+  # with tracing disabled, so handler byte counters must match even under
+  # DNND_TELEMETRY=OFF — a mismatch there means telemetry leaked bytes
+  # into the message envelope.
+  tests/check_metrics_regression.sh "$build_dir"
 done
 
 echo "==== matrix passed: ${selected[*]} ===="

@@ -67,6 +67,87 @@ TEST(ChromeTraceExport, GoldenTwoRankTrace) {
   EXPECT_EQ(render(ranks), expected);
 }
 
+TEST(ChromeTraceExport, GoldenFlowEventsAndArgs) {
+  // A traced send on rank 0 stitched to a handler span on rank 1 —
+  // exactly the event shapes the communicator emits, hand-stamped so the
+  // compare is byte-exact.
+  TraceBuffer r0, r1;
+  r0.add_flow('s', "type2", 100, 0xabc);
+  dnnd::telemetry::TraceEvent recv;
+  recv.name = "recv.type2";
+  recv.category = "handler";
+  recv.ts_us = 140;
+  recv.dur_us = 25;
+  recv.args = "{\"trace\":\"0x1\",\"span\":\"0xabc\",\"hop\":1,\"src\":0,"
+              "\"queue_us\":40}";
+  r1.add_flow('f', "type2", 140, 0xabc);
+  r1.add(std::move(recv));
+
+  const std::vector<RankTrace> ranks = {{0, &r0}, {1, &r1}};
+  const std::string expected =
+      "{\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"rank 0\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"driver\"}},"
+      "{\"name\":\"type2\",\"cat\":\"flow\",\"ph\":\"s\",\"ts\":100,"
+      "\"pid\":0,\"tid\":0,\"id\":\"0xabc\"},"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"rank 1\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"driver\"}},"
+      "{\"name\":\"type2\",\"cat\":\"flow\",\"ph\":\"f\",\"ts\":140,"
+      "\"pid\":1,\"tid\":0,\"id\":\"0xabc\",\"bp\":\"e\"},"
+      "{\"name\":\"recv.type2\",\"cat\":\"handler\",\"ph\":\"X\","
+      "\"ts\":140,\"dur\":25,\"pid\":1,\"tid\":0,"
+      "\"args\":{\"trace\":\"0x1\",\"span\":\"0xabc\",\"hop\":1,\"src\":0,"
+      "\"queue_us\":40}}"
+      "],\"displayTimeUnit\":\"ms\"}";
+  EXPECT_EQ(render(ranks), expected);
+
+  // The flow pair survives a JSON parser round-trip with matching ids.
+  const auto doc = json::parse(render(ranks));
+  std::string s_id, f_id;
+  for (const auto& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == "s") s_id = e.at("id").as_string();
+    if (e.at("ph").as_string() == "f") f_id = e.at("id").as_string();
+  }
+  EXPECT_EQ(s_id, "0xabc");
+  EXPECT_EQ(s_id, f_id);
+}
+
+TEST(ChromeTraceExport, OriginShiftsTimestampsToRunRelativeZero) {
+  TraceBuffer buf;
+  buf.add_complete("a", "phase", 5000, 10, 0);
+  buf.add_flow('s', "m", 5100, 0x1);
+  const std::vector<RankTrace> ranks = {{0, &buf}};
+  std::ostringstream os;
+  write_chrome_trace(os, ranks, 5000);
+  const auto doc = json::parse(os.str());
+  for (const auto& e : doc.at("traceEvents").as_array()) {
+    if (e.at("ph").as_string() == "X") {
+      EXPECT_EQ(e.at("ts").as_number(), 0.0);
+      EXPECT_EQ(e.at("dur").as_number(), 10.0);  // durations never shift
+    }
+    if (e.at("ph").as_string() == "s") {
+      EXPECT_EQ(e.at("ts").as_number(), 100.0);
+    }
+  }
+  // Events stamped before the origin clamp to zero instead of wrapping.
+  TraceBuffer early;
+  early.add_complete("b", "phase", 10, 5, 0);
+  std::ostringstream os2;
+  const std::vector<RankTrace> ranks2 = {{0, &early}};
+  write_chrome_trace(os2, ranks2, 5000);
+  EXPECT_EQ(json::parse(os2.str())
+                .at("traceEvents")
+                .as_array()
+                .back()
+                .at("ts")
+                .as_number(),
+            0.0);
+}
+
 TEST(ChromeTraceExport, OutputParsesAndMapsPidTidToRankThread) {
   TraceBuffer r0, r1;
   r0.add_complete("a", "phase", 0, 10, 0);

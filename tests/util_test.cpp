@@ -6,9 +6,13 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/hash.hpp"
+#include "util/clock.hpp"
+#include "util/json.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -204,6 +208,82 @@ TEST(Logging, LevelRoundTripsAndFilters) {
   DNND_LOG_DEBUG() << "emitted " << 43;
   dnnd::util::log_line(dnnd::util::LogLevel::kInfo, 3, "rank-tagged line");
   dnnd::util::set_log_level(saved);
+}
+
+
+TEST(Logging, JsonFormatEmitsOneParsableObjectPerLine) {
+  using namespace dnnd::util;
+  const auto saved_level = log_level();
+  const auto saved_format = log_format();
+  std::vector<std::string> lines;
+  set_log_sink([&lines](std::string_view line) { lines.emplace_back(line); });
+  set_log_level(LogLevel::kInfo);
+  set_log_format(LogFormat::kJson);
+
+  log_line(LogLevel::kInfo, 3, "neighbors \"updated\"\n");
+  log_line(LogLevel::kWarn, -1, "no rank");
+
+  set_log_sink(nullptr);
+  set_log_format(saved_format);
+  set_log_level(saved_level);
+
+  ASSERT_EQ(lines.size(), 2u);
+  const auto first = dnnd::util::json::parse(lines[0]);
+  EXPECT_EQ(first.at("level").as_string(), "INFO");
+  EXPECT_EQ(first.at("rank").as_number(), 3.0);
+  // Quotes and the newline survive the escaping round-trip.
+  EXPECT_EQ(first.at("msg").as_string(), "neighbors \"updated\"\n");
+  EXPECT_GE(first.at("ts_us").as_number(), 0.0);
+  EXPECT_FALSE(first.contains("trace"));  // no active trace on this thread
+
+  const auto second = dnnd::util::json::parse(lines[1]);
+  EXPECT_EQ(second.at("level").as_string(), "WARN");
+  EXPECT_FALSE(second.contains("rank"));  // rank < 0 is unattributed
+}
+
+TEST(Logging, JsonLinesCarryTheThreadActiveTraceId) {
+  using namespace dnnd::util;
+  const auto saved_level = log_level();
+  const auto saved_format = log_format();
+  std::vector<std::string> lines;
+  set_log_sink([&lines](std::string_view line) { lines.emplace_back(line); });
+  set_log_level(LogLevel::kInfo);
+  set_log_format(LogFormat::kJson);
+
+  set_active_trace(0xabcdef);
+  EXPECT_EQ(active_trace(), 0xabcdefu);
+  log_line(LogLevel::kInfo, 0, "inside");
+  set_active_trace(0);
+  log_line(LogLevel::kInfo, 0, "outside");
+
+  set_log_sink(nullptr);
+  set_log_format(saved_format);
+  set_log_level(saved_level);
+
+  ASSERT_EQ(lines.size(), 2u);
+  // Same hex spelling trace.json uses, so grep joins logs to traces.
+  EXPECT_EQ(dnnd::util::json::parse(lines[0]).at("trace").as_string(),
+            "0xabcdef");
+  EXPECT_FALSE(dnnd::util::json::parse(lines[1]).contains("trace"));
+}
+
+TEST(Logging, TextFormatAlsoHonorsTheSink) {
+  using namespace dnnd::util;
+  const auto saved_level = log_level();
+  std::vector<std::string> lines;
+  set_log_sink([&lines](std::string_view line) { lines.emplace_back(line); });
+  set_log_level(LogLevel::kInfo);
+  log_line(LogLevel::kInfo, 2, "plain");
+  set_log_sink(nullptr);
+  set_log_level(saved_level);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[dnnd INFO r2] plain");
+}
+
+TEST(Clock, MonotonicMicrosecondsNeverGoBackwards) {
+  const auto a = dnnd::util::monotonic_us();
+  const auto b = dnnd::util::monotonic_us();
+  EXPECT_GE(b, a);
 }
 
 }  // namespace
