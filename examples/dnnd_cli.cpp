@@ -26,6 +26,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -33,8 +34,11 @@
 
 #include "baselines/brute_force.hpp"
 #include "comm/environment.hpp"
+#include "core/checkpoint_store.hpp"
 #include "core/distance.hpp"
+#include "core/dnnd_checkpoint.hpp"
 #include "core/dnnd_runner.hpp"
+#include "core/recovery.hpp"
 #include "core/knn_query.hpp"
 #include "core/persistent_graph.hpp"
 #include "core/recall.hpp"
@@ -71,6 +75,8 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s gen   <dataset> <prefix> [n] [nq]\n"
                "       %s build <base-file> <datastore> [k] [ranks]\n"
+               "               [--checkpoint-every N] [--checkpoint-dir D] "
+               "[--resume]\n"
                "       %s query <datastore> <query-file> [gt.ivecs] [eps]\n"
                "       %s info  <datastore>\n"
                "       %s stats <run-prefix> [--straggler-factor F]\n"
@@ -79,6 +85,16 @@ int usage(const char* argv0) {
                argv0, argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
+
+/// build's crash-tolerance knobs: --checkpoint-every N persists a
+/// CRC-validated checkpoint generation every N NN-Descent iterations
+/// (default dir: <datastore>.ckpt); --resume continues an interrupted
+/// build from the newest valid generation instead of starting over.
+struct BuildOptions {
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  bool resume = false;
+};
 
 int cmd_gen(int argc, char** argv) {
   const std::string name = argv[2];
@@ -119,7 +135,7 @@ int cmd_gen(int argc, char** argv) {
 
 template <typename T, typename Fn>
 int build_typed(const core::FeatureStore<T>& base, const std::string& store,
-                std::size_t k, int ranks) {
+                std::size_t k, int ranks, const BuildOptions& opts) {
   // Causal tracing on by default for CLI builds: every 64th root message
   // starts a traced chain, cheap enough to leave on and dense enough that
   // a multi-iteration build yields cross-rank flow arrows. No-op (and
@@ -135,18 +151,58 @@ int build_typed(const core::FeatureStore<T>& base, const std::string& store,
   comm::Config env_cfg;
   env_cfg.num_ranks = ranks;
   env_cfg.trace_sample_period = trace_period;
-  comm::Environment env(env_cfg);
   core::DnndConfig cfg;
   cfg.k = k;
-  core::DnndRunner<T, Fn> runner(env, cfg, Fn{});
-  runner.distribute(base);
+
+  std::unique_ptr<comm::Environment> env;
+  std::unique_ptr<core::DnndRunner<T, Fn>> runner;
   util::Timer timer;
-  const auto stats = runner.build();
-  runner.optimize();
+  core::DnndBuildStats stats;
+  if (opts.checkpoint_every != 0 || opts.resume) {
+    // Supervised path: checkpoint generations every N iterations and/or
+    // resume from an earlier process's last valid generation. A rank
+    // failure mid-build (real or injected) is absorbed by re-running from
+    // the newest checkpoint in a fresh environment.
+    core::CheckpointStore ckpt(
+        opts.checkpoint_dir.empty() ? store + ".ckpt" : opts.checkpoint_dir);
+    core::RecoveryOptions ropts;
+    ropts.checkpoint_every = opts.checkpoint_every;
+    ropts.resume = opts.resume;
+    auto result = core::run_build_with_recovery<T, Fn>(
+        ckpt,
+        [&](std::size_t) { return std::make_unique<comm::Environment>(env_cfg); },
+        [&](comm::Environment& e) {
+          return std::make_unique<core::DnndRunner<T, Fn>>(e, cfg, Fn{});
+        },
+        [&](core::DnndRunner<T, Fn>& r) { r.distribute(base); }, ropts);
+    stats = result.report.stats;
+    env = std::move(result.env);
+    runner = std::move(result.runner);
+    if (!result.report.resumed_from.empty()) {
+      std::printf("resumed from iteration %llu (checkpoint dir %s)\n",
+                  static_cast<unsigned long long>(
+                      result.report.resumed_from.back()),
+                  ckpt.directory().c_str());
+    }
+    if (result.report.checkpoints_written != 0) {
+      std::printf("checkpoints: %llu written, %llu bytes, %.3fs wall\n",
+                  static_cast<unsigned long long>(
+                      result.report.checkpoints_written),
+                  static_cast<unsigned long long>(
+                      result.report.checkpoint_bytes),
+                  result.report.checkpoint_seconds);
+    }
+  } else {
+    env = std::make_unique<comm::Environment>(env_cfg);
+    runner = std::make_unique<core::DnndRunner<T, Fn>>(*env, cfg, Fn{});
+    runner->distribute(base);
+    stats = runner->build();
+  }
+  runner->optimize();
   std::printf("built k=%zu graph over %zu points on %d ranks: %zu iters, "
               "%.2fs wall, %.3e sim-units\n",
               k, base.size(), ranks, stats.iterations, timer.elapsed_s(),
-              runner.last_build_stats().simulated_parallel_units);
+              runner->last_build_stats().simulated_parallel_units);
 
   // Size the store from the data: features + graph + slack.
   const std::size_t bytes =
@@ -161,13 +217,13 @@ int build_typed(const core::FeatureStore<T>& base, const std::string& store,
   // counter time series. With DNND_TELEMETRY=OFF all three files are
   // still written as valid-but-empty documents. Inspect with
   // `dnnd_cli stats <datastore>`.
-  env.export_telemetry(store + ".metrics.json", store + ".trace.json",
-                       store + ".timeseries.json");
+  env->export_telemetry(store + ".metrics.json", store + ".trace.json",
+                        store + ".timeseries.json");
   std::printf("telemetry: %s.{metrics,trace,timeseries}.json\n",
               store.c_str());
 
   auto mgr = pmem::Manager::create(store, bytes);
-  core::store_graph(mgr, runner.gather(), "knng");
+  core::store_graph(mgr, runner->gather(), "knng");
   core::store_features(mgr, base, "points");
   core::IndexMetadata meta;
   meta.set_metric("L2");
@@ -183,22 +239,47 @@ int build_typed(const core::FeatureStore<T>& base, const std::string& store,
 }
 
 int cmd_build(int argc, char** argv) {
-  const std::string base_file = argv[2];
-  const std::string store = argv[3];
+  // Positional args first ([base store k ranks]), then --flag [value].
+  std::vector<std::string> positional;
+  BuildOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--checkpoint-every" && i + 1 < argc) {
+      opts.checkpoint_every = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--checkpoint-dir" && i + 1 < argc) {
+      opts.checkpoint_dir = argv[++i];
+    } else if (arg == "--resume") {
+      opts.resume = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "build: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 2) {
+    std::fprintf(stderr, "build needs <base-file> <datastore>\n");
+    return 2;
+  }
+  const std::string& base_file = positional[0];
+  const std::string& store = positional[1];
   const std::size_t k =
-      argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 10;
-  const int ranks = argc > 5 ? std::atoi(argv[5]) : 8;
+      positional.size() > 2
+          ? static_cast<std::size_t>(std::atoll(positional[2].c_str()))
+          : 10;
+  const int ranks =
+      positional.size() > 3 ? std::atoi(positional[3].c_str()) : 8;
 
   if (is_u8_file(base_file)) {
     const auto base = ends_with(base_file, ".bvecs")
                           ? data::read_bvecs(base_file)
                           : data::read_u8bin(base_file);
-    return build_typed<std::uint8_t, L2U8>(base, store, k, ranks);
+    return build_typed<std::uint8_t, L2U8>(base, store, k, ranks, opts);
   }
   const auto base = ends_with(base_file, ".fvecs")
                         ? data::read_fvecs(base_file)
                         : data::read_fbin(base_file);
-  return build_typed<float, L2F>(base, store, k, ranks);
+  return build_typed<float, L2F>(base, store, k, ranks, opts);
 }
 
 template <typename T, typename Fn>
@@ -345,6 +426,34 @@ int cmd_stats(int argc, char** argv) {
     std::printf("run: %d ranks, telemetry %s\n",
                 static_cast<int>(metrics->at("ranks").as_number()),
                 metrics->at("enabled").as_bool() ? "on" : "off");
+    // Checkpoint/recovery overhead, when the run wrote any (build
+    // --checkpoint-every). Counters live in the merged metrics object.
+    if (metrics->contains("metrics") &&
+        metrics->at("metrics").contains("counters")) {
+      const auto& counters = metrics->at("metrics").at("counters");
+      const auto counter = [&](const char* name) -> double {
+        return counters.contains(name) ? counters.at(name).as_number() : 0.0;
+      };
+      const double written = counter("ckpt.checkpoints_written");
+      if (written > 0) {
+        std::printf(
+            "checkpointing: %.0f checkpoints, %.1f KiB, %.3fs wall "
+            "(%.1f ms each)\n",
+            written, counter("ckpt.bytes_written") / 1024.0,
+            counter("ckpt.write_us") / 1e6,
+            counter("ckpt.write_us") / 1e3 / written);
+      }
+      const double recoveries = counter("recovery.events");
+      const double resumes = counter("recovery.resumes");
+      // A manual `--resume` has resumes > 0 with no failure event in THIS
+      // process (the crash happened in the interrupted one), so either
+      // counter alone warrants the line.
+      if (recoveries > 0 || resumes > 0) {
+        std::printf("recovery: %.0f rank failure(s) absorbed, "
+                    "%.0f resume(s) from checkpoint\n",
+                    recoveries, resumes);
+      }
+    }
   }
   if (trace) {
     const auto report = telemetry::analyze_load(*trace, straggler_factor);

@@ -8,12 +8,14 @@ namespace dnnd::comm {
 
 Communicator::Communicator(mpi::World& world, int rank,
                            std::size_t send_buffer_bytes, RetryConfig retry,
-                           std::uint64_t trace_sample_period)
+                           std::uint64_t trace_sample_period,
+                           FailureDetectorConfig detector)
     : world_(&world),
       rank_(rank),
       send_buffer_bytes_(send_buffer_bytes),
       trace_sample_period_(trace_sample_period),
-      retry_(retry) {
+      retry_(retry),
+      detector_(detector) {
   if (rank < 0 || rank >= world.size()) {
     throw std::invalid_argument("Communicator: rank out of range");
   }
@@ -23,11 +25,19 @@ Communicator::Communicator(mpi::World& world, int rank,
     send_channels_.resize(static_cast<std::size_t>(world.size()));
     recv_channels_.resize(static_cast<std::size_t>(world.size()));
   }
+  // Heartbeats need the reliable protocol's tick clock; detection without
+  // an injector would be dead code (the perfect transport cannot crash).
+  detect_failures_ = reliable_ && detector_.enabled();
+  if (detect_failures_) {
+    last_heard_.assign(static_cast<std::size_t>(world.size()), 0);
+  }
   g_inbox_depth_ = telemetry_.gauge("comm.inbox_depth");
   c_retransmits_ = telemetry_.counter("comm.retransmits");
   c_duplicates_ = telemetry_.counter("comm.duplicates_suppressed");
   c_acks_sent_ = telemetry_.counter("comm.acks_sent");
   c_acks_received_ = telemetry_.counter("comm.acks_received");
+  c_heartbeats_sent_ = telemetry_.counter("comm.heartbeats_sent");
+  c_heartbeats_missed_ = telemetry_.counter("comm.heartbeats_missed");
   c_traced_sends_ = telemetry_.counter("comm.traced_sends");
   h_queue_latency_ = telemetry_.histogram("comm.queue_latency_us");
   h_handler_time_ = telemetry_.histogram("comm.handler_time_us");
@@ -74,6 +84,9 @@ void Communicator::flush_to(int dest) {
 }
 
 std::size_t Communicator::process_available(std::size_t max_datagrams) {
+  // A dead rank does nothing: no collects, no acks, no retransmits, no
+  // heartbeats. Its silence is exactly what the peers' detectors observe.
+  if (!world_->alive(rank_)) return 0;
   if constexpr (telemetry::kEnabled) {
     // Inbox-depth probe takes the mailbox mutex; keep it out of
     // DNND_TELEMETRY=OFF builds entirely.
@@ -96,15 +109,57 @@ std::size_t Communicator::process_available(std::size_t max_datagrams) {
     dispatch(datagram);
     messages += datagram.message_count;
   }
-  if (reliable_) {
+  // Re-check liveness: a scheduled crash may have fired inside the collect
+  // loop above, and a freshly dead rank must not ack or retransmit.
+  if (reliable_ && world_->alive(rank_)) {
     send_pending_acks();
     drive_retransmits();
+    if (detect_failures_) maybe_send_heartbeats();
   }
   return messages;
 }
 
+void Communicator::maybe_send_heartbeats() {
+  if (tick_ % detector_.heartbeat_period_ticks != 0) return;
+  for (int dest = 0; dest < size(); ++dest) {
+    if (dest == rank_) continue;
+    mpi::Datagram beat;
+    beat.source = rank_;
+    beat.kind = mpi::DatagramKind::kHeartbeat;
+    // Unsequenced and message_count = 0: heartbeats are transport
+    // bookkeeping, invisible to dedup and to the termination counters.
+    world_->post(dest, std::move(beat));
+    ++transport_.heartbeats_sent;
+    telemetry_.add(c_heartbeats_sent_);
+  }
+}
+
+void Communicator::check_failures() {
+  if (!detect_failures_ || !world_->alive(rank_)) return;
+  for (int peer = 0; peer < size(); ++peer) {
+    if (peer == rank_) continue;
+    const std::uint64_t heard = last_heard_[static_cast<std::size_t>(peer)];
+    if (tick_ <= heard) continue;
+    const std::uint64_t silent = tick_ - heard;
+    if (silent <= detector_.failure_timeout_ticks) continue;
+    const std::uint64_t missed = silent / detector_.heartbeat_period_ticks;
+    transport_.heartbeats_missed += missed;
+    telemetry_.add(c_heartbeats_missed_, missed);
+    throw RankFailureError(
+        "Communicator: rank " + std::to_string(peer) + " silent for " +
+            std::to_string(silent) + " ticks (last heard at tick " +
+            std::to_string(heard) + ", epoch " + std::to_string(epoch_) +
+            ") — presumed crashed",
+        peer, rank_, epoch_, heard, silent);
+  }
+}
+
 bool Communicator::reliable_receive(const mpi::Datagram& datagram) {
   const auto src = static_cast<std::size_t>(datagram.source);
+  // Any datagram proves the sender was alive recently; heartbeats exist
+  // only to keep this clock fresh across otherwise-silent stretches.
+  if (detect_failures_) last_heard_[src] = tick_;
+  if (datagram.kind == mpi::DatagramKind::kHeartbeat) return false;
   if (datagram.kind == mpi::DatagramKind::kAck) {
     ++transport_.acks_received;
     telemetry_.add(c_acks_received_);
@@ -165,8 +220,9 @@ void Communicator::drive_retransmits() {
             "Communicator: datagram " + std::to_string(seq) + " from rank " +
                 std::to_string(rank_) + " to rank " + std::to_string(dest) +
                 " unacknowledged after " + std::to_string(pending.attempts) +
-                " retransmissions — channel considered failed",
-            rank_, dest, seq, pending.attempts);
+                " retransmissions (epoch " + std::to_string(epoch_) +
+                ") — channel considered failed",
+            rank_, dest, seq, pending.attempts, epoch_);
       }
       mpi::Datagram copy;
       copy.source = rank_;

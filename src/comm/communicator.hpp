@@ -93,27 +93,86 @@ struct RetryConfig {
 
 /// Thrown when a datagram exhausts its retry budget: the channel is
 /// considered failed and the error surfaces to the engine instead of the
-/// barrier spinning forever.
+/// barrier spinning forever. Carries full channel context — source, dest,
+/// sequence number, attempt count, and the engine epoch (build phase
+/// counter) active when the channel died — so a supervisor can log exactly
+/// where a build was interrupted.
 class TransportError : public std::runtime_error {
  public:
   TransportError(const std::string& what, int source, int dest,
-                 std::uint64_t seq, std::uint32_t attempts)
+                 std::uint64_t seq, std::uint32_t attempts,
+                 std::uint64_t epoch = 0)
       : std::runtime_error(what),
         source_(source),
         dest_(dest),
         seq_(seq),
-        attempts_(attempts) {}
+        attempts_(attempts),
+        epoch_(epoch) {}
 
   [[nodiscard]] int source() const noexcept { return source_; }
   [[nodiscard]] int dest() const noexcept { return dest_; }
   [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
   [[nodiscard]] std::uint32_t attempts() const noexcept { return attempts_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
 
  private:
   int source_;
   int dest_;
   std::uint64_t seq_;
   std::uint32_t attempts_;
+  std::uint64_t epoch_;
+};
+
+/// Thrown by the failure detector when a peer rank has been silent past the
+/// configured timeout: the rank is presumed crashed (crash-stop model) and
+/// the current phase cannot complete. Deliberately NOT derived from
+/// TransportError — phase timing code catches and re-wraps TransportError,
+/// while a RankFailureError must propagate intact to the recovery driver.
+class RankFailureError : public std::runtime_error {
+ public:
+  RankFailureError(const std::string& what, int failed_rank, int detected_by,
+                   std::uint64_t epoch, std::uint64_t last_heard_tick,
+                   std::uint64_t silent_ticks)
+      : std::runtime_error(what),
+        failed_rank_(failed_rank),
+        detected_by_(detected_by),
+        epoch_(epoch),
+        last_heard_tick_(last_heard_tick),
+        silent_ticks_(silent_ticks) {}
+
+  [[nodiscard]] int failed_rank() const noexcept { return failed_rank_; }
+  [[nodiscard]] int detected_by() const noexcept { return detected_by_; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+  [[nodiscard]] std::uint64_t last_heard_tick() const noexcept {
+    return last_heard_tick_;
+  }
+  [[nodiscard]] std::uint64_t silent_ticks() const noexcept {
+    return silent_ticks_;
+  }
+
+ private:
+  int failed_rank_;
+  int detected_by_;
+  std::uint64_t epoch_;
+  std::uint64_t last_heard_tick_;
+  std::uint64_t silent_ticks_;
+};
+
+/// Heartbeat-based crash detection knobs. Only consulted when the
+/// retry/dedup protocol is active (a fault injector is installed);
+/// `failure_timeout_ticks == 0` disables detection entirely, leaving
+/// retransmit exhaustion (TransportError) as the only failure backstop.
+struct FailureDetectorConfig {
+  /// Every rank posts an empty kHeartbeat datagram to every peer each time
+  /// its retransmission clock passes a multiple of this period.
+  std::uint32_t heartbeat_period_ticks = 8;
+  /// A peer silent (no datagram of any kind collected from it) for more
+  /// than this many local ticks is declared failed. 0 = detection off.
+  std::uint64_t failure_timeout_ticks = 0;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return failure_timeout_ticks != 0;
+  }
 };
 
 /// Send/receive-side protocol counters (all zero when the protocol is off).
@@ -122,12 +181,18 @@ struct TransportCounters {
   std::uint64_t duplicates_suppressed = 0;
   std::uint64_t acks_sent = 0;
   std::uint64_t acks_received = 0;
+  std::uint64_t heartbeats_sent = 0;
+  /// Heartbeat periods a declared-failed rank was silent for (recorded at
+  /// detection time, so nonzero iff a RankFailureError was raised).
+  std::uint64_t heartbeats_missed = 0;
 
   void merge(const TransportCounters& other) noexcept {
     retransmits += other.retransmits;
     duplicates_suppressed += other.duplicates_suppressed;
     acks_sent += other.acks_sent;
     acks_received += other.acks_received;
+    heartbeats_sent += other.heartbeats_sent;
+    heartbeats_missed += other.heartbeats_missed;
   }
 };
 
@@ -141,7 +206,8 @@ class Communicator {
   /// entirely — no trace bytes on the wire, no clock reads. Ignored under
   /// DNND_TELEMETRY=OFF.
   Communicator(mpi::World& world, int rank, std::size_t send_buffer_bytes,
-               RetryConfig retry = {}, std::uint64_t trace_sample_period = 0);
+               RetryConfig retry = {}, std::uint64_t trace_sample_period = 0,
+               FailureDetectorConfig detector = {});
 
   Communicator(const Communicator&) = delete;
   Communicator& operator=(const Communicator&) = delete;
@@ -222,6 +288,27 @@ class Communicator {
 
   /// True when the retry/dedup protocol is active for this rank.
   [[nodiscard]] bool reliable() const noexcept { return reliable_; }
+
+  // -- failure detection -------------------------------------------------
+
+  /// True when heartbeat-based crash detection is running on this rank.
+  [[nodiscard]] bool detecting_failures() const noexcept {
+    return detect_failures_;
+  }
+
+  /// Sets the engine epoch (phase counter) attached to transport and
+  /// rank-failure errors raised from this rank. Called by the Environment
+  /// at each phase boundary.
+  void set_epoch(std::uint64_t epoch) noexcept { epoch_ = epoch; }
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Raises RankFailureError if any peer has been silent past
+  /// `failure_timeout_ticks`. No-op when detection is off, when this rank
+  /// itself is dead (its frozen clocks must never accuse live peers), or
+  /// before any tick has elapsed. The Environment's drain loops call this
+  /// each polling round so a crash surfaces as a structured error instead
+  /// of a barrier that never completes.
+  void check_failures();
 
   [[nodiscard]] const TransportCounters& transport_counters() const noexcept {
     return transport_;
@@ -325,6 +412,7 @@ class Communicator {
   bool reliable_receive(const mpi::Datagram& datagram);
   void send_pending_acks();
   void drive_retransmits();
+  void maybe_send_heartbeats();
 
   mpi::World* world_;
   int rank_;
@@ -364,6 +452,16 @@ class Communicator {
   std::vector<SendChannel> send_channels_;
   std::vector<RecvChannel> recv_channels_;
   TransportCounters transport_;
+
+  // -- failure-detector state (inert unless detect_failures_) ------------
+  FailureDetectorConfig detector_;
+  bool detect_failures_ = false;
+  std::uint64_t epoch_ = 0;
+  /// Local tick at which a datagram (of any kind) was last collected from
+  /// each peer. Self-entry unused.
+  std::vector<std::uint64_t> last_heard_;
+  telemetry::MetricId c_heartbeats_sent_ = 0;
+  telemetry::MetricId c_heartbeats_missed_ = 0;
 };
 
 }  // namespace dnnd::comm

@@ -1,5 +1,6 @@
 #include "comm/environment.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <stdexcept>
 
@@ -21,12 +22,22 @@ Environment::Environment(Config config)
     world_->install_fault_injector(std::make_unique<mpi::FaultInjector>(
         config_.fault_plan, config_.num_ranks));
   }
+  FailureDetectorConfig detector;
+  detector.heartbeat_period_ticks =
+      std::max<std::uint32_t>(1, config_.heartbeat_period_ticks);
+  std::uint64_t timeout = config_.failure_timeout_ticks;
+  if (timeout == 0) {
+    timeout =
+        config_.fault_plan.crashes.empty() ? 0 : kAutoFailureTimeoutTicks;
+  }
+  if (timeout == kFailureDetectionOff) timeout = 0;
+  detector.failure_timeout_ticks = timeout;
   comms_.reserve(static_cast<std::size_t>(config_.num_ranks));
   h_barrier_wait_.reserve(static_cast<std::size_t>(config_.num_ranks));
   for (int r = 0; r < config_.num_ranks; ++r) {
     comms_.push_back(std::make_unique<Communicator>(
         *world_, r, config_.send_buffer_bytes, config_.retry,
-        config_.trace_sample_period));
+        config_.trace_sample_period, detector));
     h_barrier_wait_.push_back(
         comms_.back()->telemetry().histogram("comm.barrier_wait_us"));
     sampler_.attach(r, &comms_.back()->telemetry().metrics());
@@ -36,11 +47,14 @@ Environment::Environment(Config config)
 Environment::~Environment() = default;
 
 void Environment::execute_phase(const std::function<void(int)>& fn) {
+  ++phase_epoch_;
+  for (auto& comm : comms_) comm->set_epoch(phase_epoch_);
   if (config_.driver == DriverKind::kSequential) {
     run_sequential(fn);
   } else {
     run_threaded(fn);
   }
+  ensure_all_alive();
   // Tick-driven snapshots happen at phase boundaries (quiescent state), so
   // a snapshot never observes a rank mid-handler. maybe_sample is a single
   // compare when the tick period is 0 or not yet elapsed.
@@ -52,15 +66,25 @@ void Environment::quiesce() {
 }
 
 void Environment::run_sequential(const std::function<void(int)>& fn) {
-  for (int r = 0; r < config_.num_ranks; ++r) fn(r);
+  // A crashed rank stops executing phase bodies — its thread of control
+  // died with it. Crashes mid-phase (during the drain below) are modelled
+  // by the injector's tick clock instead.
+  for (int r = 0; r < config_.num_ranks; ++r) {
+    if (world_->alive(r)) fn(r);
+  }
   // Round-robin delivery: bounded datagram bursts per rank per turn keep
   // the schedule fair (and deterministic), mimicking ranks making
   // interleaved progress.
   constexpr std::size_t kBurst = 16;
   util::Timer drain_timer;
   while (!world_->quiescent()) {
-    for (auto& comm : comms_) comm->flush();
+    for (auto& comm : comms_) {
+      if (world_->alive(comm->rank())) comm->flush();
+    }
     for (auto& comm : comms_) comm->process_available(kBurst);
+    // Surviving ranks watch for silent peers each round; a crash that
+    // strands messages keeps this loop alive until a detector fires.
+    for (auto& comm : comms_) comm->check_failures();
   }
   if constexpr (telemetry::kEnabled) {
     // The sequential driver drains all ranks on one thread, so each rank
@@ -76,12 +100,35 @@ void Environment::run_sequential(const std::function<void(int)>& fn) {
 void Environment::run_threaded(const std::function<void(int)>& fn) {
   mpi::run_threaded_phase(
       *world_, static_cast<int>(comms_.size()),
-      [&](int rank) { fn(rank); },
-      [&](int rank) { comms_[static_cast<std::size_t>(rank)]->flush(); },
       [&](int rank) {
-        return comms_[static_cast<std::size_t>(rank)]->process_available(16);
+        if (world_->alive(rank)) fn(rank);
+      },
+      [&](int rank) {
+        if (world_->alive(rank)) {
+          comms_[static_cast<std::size_t>(rank)]->flush();
+        }
+      },
+      [&](int rank) {
+        auto& comm = *comms_[static_cast<std::size_t>(rank)];
+        const std::size_t handled = comm.process_available(16);
+        // Throwing here trips the driver's failed flag, so every thread
+        // (including a would-be-hung one) leaves its drain loop and the
+        // RankFailureError is rethrown on the calling thread.
+        comm.check_failures();
+        return handled;
       },
       [&](int rank, double seconds) { record_barrier_wait(rank, seconds); });
+}
+
+void Environment::ensure_all_alive() const {
+  const int dead = world_->first_dead();
+  if (dead < 0) return;
+  throw RankFailureError(
+      "Environment: rank " + std::to_string(dead) +
+          " crashed (phase barrier completed over a dead rank, epoch " +
+          std::to_string(phase_epoch_) + ')',
+      dead, /*detected_by=*/-1, phase_epoch_,
+      /*last_heard_tick=*/0, /*silent_ticks=*/0);
 }
 
 void Environment::record_barrier_wait(int rank, double seconds) {
@@ -153,7 +200,9 @@ void Environment::write_metrics_json(std::ostream& os) const {
   os << "],\"transport\":{\"retransmits\":" << transport.retransmits
      << ",\"duplicates_suppressed\":" << transport.duplicates_suppressed
      << ",\"acks_sent\":" << transport.acks_sent
-     << ",\"acks_received\":" << transport.acks_received << '}'
+     << ",\"acks_received\":" << transport.acks_received
+     << ",\"heartbeats_sent\":" << transport.heartbeats_sent
+     << ",\"heartbeats_missed\":" << transport.heartbeats_missed << '}'
      << ",\"metrics\":";
   aggregate_metrics().write_json(os);
   // Per-rank registries drive the load-skew analysis (`dnnd_cli stats`):

@@ -37,6 +37,16 @@ namespace dnnd::comm {
 
 enum class DriverKind { kSequential, kThreaded };
 
+/// Default failure-detector timeout when Config::failure_timeout_ticks is
+/// auto (0) and the plan schedules crashes. Far above any honest silence
+/// the protocol produces (max retransmit backoff is 128 ticks) and far
+/// below retry exhaustion (~3700 ticks), so detection is both
+/// false-positive-free and much faster than the TransportError backstop.
+inline constexpr std::uint64_t kAutoFailureTimeoutTicks = 256;
+
+/// Sentinel for Config::failure_timeout_ticks: never detect.
+inline constexpr std::uint64_t kFailureDetectionOff = ~std::uint64_t{0};
+
 struct Config {
   int num_ranks = 1;
   DriverKind driver = DriverKind::kSequential;
@@ -51,6 +61,16 @@ struct Config {
   mpi::FaultPlan fault_plan;
   /// Retry/dedup protocol knobs; only consulted when fault_plan is active.
   RetryConfig retry;
+  /// Crash-detection timeout in ticks. 0 = auto: detection turns on (at
+  /// kAutoFailureTimeoutTicks) iff the fault plan schedules crash-stop
+  /// faults. Auto keeps crash-free plans bit-identical to PR 1 — heartbeat
+  /// traffic consumes injector randomness, so enabling detection changes a
+  /// plan's fault schedule. Set to kFailureDetectionOff to force detection
+  /// off even with crashes scheduled (retransmit exhaustion then surfaces
+  /// the failure as TransportError instead).
+  std::uint64_t failure_timeout_ticks = 0;
+  /// Heartbeat period in ticks while detection is on.
+  std::uint32_t heartbeat_period_ticks = 8;
   /// Causal-tracing sample period: every Nth root message starts a traced
   /// chain (flow events + handler child spans in trace.json). 0 disables
   /// tracing — zero trace bytes on the wire. Ignored when the library is
@@ -164,9 +184,22 @@ class Environment {
   /// Resets every rank's message counters (between experiment sections).
   void reset_stats();
 
+  /// Phase counter since construction (the "epoch" stamped onto transport
+  /// and rank-failure errors): how many execute_phase barriers completed.
+  [[nodiscard]] std::uint64_t phase_epoch() const noexcept {
+    return phase_epoch_;
+  }
+
  private:
   void run_sequential(const std::function<void(int)>& fn);
   void run_threaded(const std::function<void(int)>& fn);
+
+  /// Ground-truth liveness check after a barrier: quiescence with a dead
+  /// rank means the crash stranded no messages (nothing was owed to it),
+  /// which the timeout detector alone cannot distinguish from a clean
+  /// finish. Without this check such a phase would silently complete with
+  /// the dead rank's work missing.
+  void ensure_all_alive() const;
 
   /// Records one barrier drain into rank `r`'s telemetry (histogram +
   /// trace event). No-op under DNND_TELEMETRY=OFF.
@@ -175,6 +208,7 @@ class Environment {
   Config config_;
   std::unique_ptr<mpi::World> world_;
   std::vector<std::unique_ptr<Communicator>> comms_;
+  std::uint64_t phase_epoch_ = 0;
   std::vector<telemetry::MetricId> h_barrier_wait_;  ///< per-rank histogram id
   telemetry::Sampler sampler_;
   /// Run epoch on the shared monotonic clock; exporters subtract it so all

@@ -1,0 +1,172 @@
+#include "core/checkpoint_store.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/hash.hpp"
+#include "util/json.hpp"
+
+namespace dnnd::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kManifestName = "MANIFEST.json";
+
+/// Full-file streaming CRC-32; also reports the byte count.
+bool crc_of_file(const std::string& path, std::uint32_t& crc_out,
+                 std::uint64_t& bytes_out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  util::Crc32 crc;
+  std::uint64_t total = 0;
+  char buffer[64 * 1024];
+  while (in) {
+    in.read(buffer, sizeof buffer);
+    const auto got = static_cast<std::size_t>(in.gcount());
+    crc.update(buffer, got);
+    total += got;
+  }
+  crc_out = crc.value();
+  bytes_out = total;
+  return true;
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string directory)
+    : dir_(std::move(directory)) {
+  if (dir_.empty()) {
+    throw std::invalid_argument("CheckpointStore: empty directory");
+  }
+  fs::create_directories(dir_);
+}
+
+std::string CheckpointStore::generation_path(std::uint64_t gen) const {
+  return dir_ + "/gen-" + std::to_string(gen) + ".dat";
+}
+
+std::uint64_t CheckpointStore::next_generation() const {
+  const auto gens = generations();
+  return gens.empty() ? 1 : gens.back().generation + 1;
+}
+
+std::vector<GenerationInfo> CheckpointStore::generations() const {
+  std::ifstream in(dir_ + "/" + kManifestName, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::vector<GenerationInfo> gens;
+  try {
+    const util::json::Value doc = util::json::parse(text.str());
+    if (doc.at("schema").as_string() != "dnnd.checkpoint.v1") return {};
+    for (const auto& entry : doc.at("generations").as_array()) {
+      GenerationInfo info;
+      info.generation =
+          static_cast<std::uint64_t>(entry.at("generation").as_number());
+      info.file = entry.at("file").as_string();
+      info.bytes = static_cast<std::uint64_t>(entry.at("bytes").as_number());
+      info.crc32 = static_cast<std::uint32_t>(entry.at("crc32").as_number());
+      info.iteration =
+          static_cast<std::uint64_t>(entry.at("iteration").as_number());
+      info.converged = entry.at("converged").as_bool();
+      gens.push_back(std::move(info));
+    }
+  } catch (const std::exception&) {
+    // A manifest is published atomically, so a malformed one means outside
+    // interference; treat the store as empty rather than failing opens.
+    return {};
+  }
+  return gens;
+}
+
+bool CheckpointStore::valid(const GenerationInfo& info) const {
+  std::uint32_t crc = 0;
+  std::uint64_t bytes = 0;
+  if (!crc_of_file(dir_ + "/" + info.file, crc, bytes)) return false;
+  return bytes == info.bytes && crc == info.crc32;
+}
+
+std::optional<GenerationInfo> CheckpointStore::open_latest() const {
+  const auto gens = generations();
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    if (valid(*it)) return *it;
+  }
+  return std::nullopt;
+}
+
+void CheckpointStore::write_manifest(
+    const std::vector<GenerationInfo>& gens) const {
+  const std::string final_path = dir_ + "/" + kManifestName;
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("CheckpointStore: cannot write " + tmp_path);
+    }
+    out << "{\"schema\":\"dnnd.checkpoint.v1\",\"generations\":[";
+    bool first = true;
+    for (const GenerationInfo& g : gens) {
+      if (!first) out << ',';
+      first = false;
+      out << "{\"generation\":" << g.generation << ",\"file\":";
+      util::json::write_string(out, g.file);
+      out << ",\"bytes\":" << g.bytes << ",\"crc32\":" << g.crc32
+          << ",\"iteration\":" << g.iteration
+          << ",\"converged\":" << (g.converged ? "true" : "false") << '}';
+    }
+    out << "]}\n";
+    out.flush();
+    if (!out) {
+      throw std::runtime_error("CheckpointStore: short write to " + tmp_path);
+    }
+  }
+  // rename(2) within one directory is atomic: readers see the old manifest
+  // or the new one, never a prefix.
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    throw std::runtime_error("CheckpointStore: cannot publish manifest");
+  }
+}
+
+GenerationInfo CheckpointStore::commit(std::uint64_t gen,
+                                       std::uint64_t iteration,
+                                       bool converged) {
+  GenerationInfo info;
+  info.generation = gen;
+  info.file = "gen-" + std::to_string(gen) + ".dat";
+  info.iteration = iteration;
+  info.converged = converged;
+  if (!crc_of_file(dir_ + "/" + info.file, info.crc32, info.bytes)) {
+    throw std::runtime_error("CheckpointStore: staged generation file '" +
+                             info.file + "' missing");
+  }
+
+  auto gens = generations();
+  // Re-staging an existing generation number replaces its entry.
+  std::erase_if(gens, [&](const GenerationInfo& g) {
+    return g.generation == gen;
+  });
+  gens.push_back(info);
+
+  std::vector<GenerationInfo> pruned;
+  if (gens.size() > kKeepGenerations) {
+    pruned.assign(gens.begin(),
+                  gens.end() - static_cast<std::ptrdiff_t>(kKeepGenerations));
+    gens.erase(gens.begin(),
+               gens.end() - static_cast<std::ptrdiff_t>(kKeepGenerations));
+  }
+  // Publish first, delete after: a crash between the two leaves an
+  // unreferenced file (harmless), never a referenced-but-deleted one.
+  write_manifest(gens);
+  for (const GenerationInfo& old : pruned) {
+    std::error_code ec;
+    fs::remove(dir_ + "/" + old.file, ec);
+  }
+  return info;
+}
+
+}  // namespace dnnd::core

@@ -4,21 +4,48 @@
 // constructed graph data in some form of persistent storage" (§4.6) and
 // §7's incremental-update vision work; this module closes the loop: an
 // in-progress or finished DNND build can be checkpointed per rank and
-// resumed later — in a new process — with refine() or optimize().
+// resumed later — in a new process — with resume_build(), refine(), or
+// optimize().
 //
-// Layout inside the datastore (all names under a caller-chosen prefix):
-//   <prefix>/meta            CheckpointMeta (ranks, k, counts, type tag)
-//   <prefix>/points/<rank>   PersistentFeatures<T> — the rank's shard
-//   <prefix>/rows/<rank>     CSR of (id, neighbors-with-flags) rows
+// A checkpoint captures a *consistent cut* of the build: it is taken at an
+// iteration barrier (transport quiescent, update counters consumed by the
+// allreduce, per-iteration cursors reset), and records everything the cut
+// does not make implicit — the neighbor rows with their new/old sampling
+// flags, each engine's RNG stream state, and the runner's iteration
+// bookkeeping. That is sufficient for a resumed build to replay the
+// remaining iterations bit-identically to an uninterrupted run.
+//
+// Layout inside the datastore: double-buffered A/B slots under a
+// caller-chosen prefix, with a head record naming the live slot:
+//
+//   <prefix>/head            CheckpointHead {active_slot, saves}
+//   <prefix>/s<A|B>/meta     CheckpointMeta (ranks, k, counts, progress)
+//   <prefix>/s<A|B>/rng/<r>  CheckpointRngState — rank r's engine stream
+//   <prefix>/s<A|B>/updates  per-iteration global update counts
+//   <prefix>/s<A|B>/points/<r>  PersistentFeatures<T> — the rank's shard
+//   <prefix>/s<A|B>/rows/<r>    CSR of (id, neighbors-with-flags) rows
+//
+// save_checkpoint always writes the *inactive* slot, flushes it durable,
+// and only then flips head.active_slot (and flushes again): a crash at any
+// point mid-save leaves the previous checkpoint intact and loadable. (The
+// old single-slot layout overwrote the only copy in place — a crash
+// mid-save corrupted it.) For whole-file crash consistency across torn
+// datastore writes, wrap saves in a CheckpointStore generation
+// (write_checkpoint_generation below), which adds CRC validation and
+// atomic manifest publication on top.
 //
 // Restore requires a runner with the same rank count and k; the element
 // type is checked via the pmem type hashes.
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 
+#include "core/checkpoint_store.hpp"
 #include "core/dnnd_runner.hpp"
 #include "core/persistent_graph.hpp"
 #include "pmem/manager.hpp"
@@ -26,11 +53,28 @@
 
 namespace dnnd::core {
 
+/// Double-buffer head: which slot holds the live checkpoint. saves == 0
+/// means no complete checkpoint exists yet.
+struct CheckpointHead {
+  std::uint32_t active_slot = 0;  ///< 0 = "A", 1 = "B"
+  std::uint64_t saves = 0;        ///< completed save_checkpoint calls
+};
+
 struct CheckpointMeta {
   std::uint32_t num_ranks = 0;
   std::uint32_t k = 0;
   std::uint64_t global_count = 0;
   std::uint64_t id_bound = 0;
+  // -- build progress at the checkpointed cut --------------------------
+  std::uint64_t completed_iterations = 0;
+  std::uint64_t total_updates = 0;
+  std::uint64_t seed = 0;  ///< config seed, to catch resume-with-wrong-seed
+  bool converged = false;
+};
+
+/// One engine's xoshiro256** state (the only build-path randomness).
+struct CheckpointRngState {
+  std::uint64_t s[4] = {};
 };
 
 /// Per-rank neighbor rows in persistent CSR form.
@@ -45,36 +89,72 @@ struct CheckpointRows {
   pmem::vector<Neighbor> entries;
 };
 
+/// Per-iteration global update counts (DnndRunner::updates_history).
+struct CheckpointUpdates {
+  explicit CheckpointUpdates(pmem::allocator<std::byte> alloc)
+      : counts(pmem::allocator<std::uint64_t>(alloc.header())) {}
+
+  pmem::vector<std::uint64_t> counts;
+};
+
 namespace detail {
+inline std::string slot_prefix(std::string_view prefix, std::uint32_t slot) {
+  return std::string(prefix) + (slot == 0 ? "/sA" : "/sB");
+}
 inline std::string ckpt_name(std::string_view prefix, const char* what,
                              int rank) {
   return std::string(prefix) + "/" + what + "/" + std::to_string(rank);
 }
 }  // namespace detail
 
-/// Writes the runner's full shard state (points + neighbor lists with
-/// new/old flags) into the datastore, overwriting a same-named checkpoint.
+/// Writes the runner's full mid-build state (points, neighbor lists with
+/// new/old flags, RNG streams, iteration bookkeeping) into the datastore's
+/// inactive slot, then atomically flips the head. The previous checkpoint
+/// stays intact until the new one is fully durable.
 template <typename T, typename DistanceFn>
 void save_checkpoint(pmem::Manager& manager,
                      DnndRunner<T, DistanceFn>& runner,
                      std::string_view prefix) {
+  auto* head = manager.find_or_construct<CheckpointHead>(
+      std::string(prefix) + "/head");
+  if (head == nullptr) throw pmem::ArenaExhausted();
+  const std::uint32_t slot = head->saves == 0 ? 0 : 1 - head->active_slot;
+  const std::string sp = detail::slot_prefix(prefix, slot);
+
   const int ranks = runner.environment().num_ranks();
-  auto* meta = manager.find_or_construct<CheckpointMeta>(
-      std::string(prefix) + "/meta");
+  auto* meta = manager.find_or_construct<CheckpointMeta>(sp + "/meta");
   if (meta == nullptr) throw pmem::ArenaExhausted();
   meta->num_ranks = static_cast<std::uint32_t>(ranks);
   meta->global_count = runner.global_count();
   meta->id_bound = runner.id_bound();
+  meta->completed_iterations = runner.completed_iterations();
+  meta->converged = runner.converged();
+  meta->seed = runner.config().seed;
+  meta->total_updates = 0;
+
+  auto* updates = manager.find_or_construct<CheckpointUpdates>(
+      sp + "/updates", manager.get_allocator<std::byte>());
+  if (updates == nullptr) throw pmem::ArenaExhausted();
+  updates->counts.clear();
+  for (const std::uint64_t c : runner.updates_history()) {
+    updates->counts.push_back(c);
+    meta->total_updates += c;
+  }
 
   for (int r = 0; r < ranks; ++r) {
     auto& engine = runner.engine(r);
-    meta->k = static_cast<std::uint32_t>(
-        engine.list_capacity());
+    meta->k = static_cast<std::uint32_t>(engine.list_capacity());
     store_features(manager, engine.local_points(),
-                   detail::ckpt_name(prefix, "points", r));
+                   detail::ckpt_name(sp, "points", r));
+
+    auto* rng = manager.find_or_construct<CheckpointRngState>(
+        detail::ckpt_name(sp, "rng", r));
+    if (rng == nullptr) throw pmem::ArenaExhausted();
+    const auto state = engine.rng_state();
+    for (int i = 0; i < 4; ++i) rng->s[i] = state[static_cast<std::size_t>(i)];
 
     auto* rows = manager.find_or_construct<CheckpointRows>(
-        detail::ckpt_name(prefix, "rows", r), manager.get_allocator<std::byte>());
+        detail::ckpt_name(sp, "rows", r), manager.get_allocator<std::byte>());
     if (rows == nullptr) throw pmem::ArenaExhausted();
     rows->ids.clear();
     rows->row_offsets.clear();
@@ -86,21 +166,32 @@ void save_checkpoint(pmem::Manager& manager,
       rows->row_offsets.push_back(rows->entries.size());
     }
   }
+  // Slot durable first, head flip durable second: the flip is the commit
+  // point, and it only ever points at a completely written slot.
+  manager.flush();
+  head->active_slot = slot;
+  ++head->saves;
   manager.flush();
 }
 
-/// Loads a checkpoint into a *fresh* runner (no distribute()/build() yet)
-/// created with the same rank count and k. Throws std::runtime_error on a
-/// missing checkpoint or mismatched topology.
+/// Loads the active checkpoint slot into a *fresh* runner (no
+/// distribute()/build() yet) created with the same rank count and k.
+/// Restores engine rows, RNG streams, and runner progress, so
+/// resume_build() continues exactly where the checkpoint was cut. Throws
+/// std::runtime_error on a missing checkpoint or mismatched topology.
 template <typename T, typename DistanceFn>
 void load_checkpoint(pmem::Manager& manager,
                      DnndRunner<T, DistanceFn>& runner,
                      std::string_view prefix) {
-  auto* meta =
-      manager.find<CheckpointMeta>(std::string(prefix) + "/meta");
-  if (meta == nullptr) {
+  auto* head = manager.find<CheckpointHead>(std::string(prefix) + "/head");
+  if (head == nullptr || head->saves == 0) {
     throw std::runtime_error("load_checkpoint: no checkpoint at prefix '" +
                              std::string(prefix) + "'");
+  }
+  const std::string sp = detail::slot_prefix(prefix, head->active_slot);
+  auto* meta = manager.find<CheckpointMeta>(sp + "/meta");
+  if (meta == nullptr) {
+    throw std::runtime_error("load_checkpoint: head points at missing slot");
   }
   const int ranks = runner.environment().num_ranks();
   if (meta->num_ranks != static_cast<std::uint32_t>(ranks)) {
@@ -109,6 +200,13 @@ void load_checkpoint(pmem::Manager& manager,
         std::to_string(meta->num_ranks) + ", runner " + std::to_string(ranks) +
         ")");
   }
+  if (meta->seed != runner.config().seed) {
+    throw std::runtime_error(
+        "load_checkpoint: seed mismatch (checkpoint " +
+        std::to_string(meta->seed) + ", runner " +
+        std::to_string(runner.config().seed) +
+        ") — a resumed build must use the original seed");
+  }
 
   for (int r = 0; r < ranks; ++r) {
     auto& engine = runner.engine(r);
@@ -116,12 +214,18 @@ void load_checkpoint(pmem::Manager& manager,
       throw std::runtime_error("load_checkpoint: k mismatch");
     }
     const auto points =
-        load_features<T>(manager, detail::ckpt_name(prefix, "points", r));
+        load_features<T>(manager, detail::ckpt_name(sp, "points", r));
     for (std::size_t i = 0; i < points.size(); ++i) {
       engine.add_local_point(points.id_at(i), points.row(i));
     }
-    auto* rows = manager.find<CheckpointRows>(
-        detail::ckpt_name(prefix, "rows", r));
+    auto* rng =
+        manager.find<CheckpointRngState>(detail::ckpt_name(sp, "rng", r));
+    if (rng == nullptr) {
+      throw std::runtime_error("load_checkpoint: missing RNG state for rank " +
+                               std::to_string(r));
+    }
+    engine.set_rng_state({rng->s[0], rng->s[1], rng->s[2], rng->s[3]});
+    auto* rows = manager.find<CheckpointRows>(detail::ckpt_name(sp, "rows", r));
     if (rows == nullptr) {
       throw std::runtime_error("load_checkpoint: missing rows for rank " +
                                std::to_string(r));
@@ -138,7 +242,48 @@ void load_checkpoint(pmem::Manager& manager,
     }
     engine.import_rows(imported);
   }
+  std::vector<std::uint64_t> history;
+  if (auto* updates = manager.find<CheckpointUpdates>(sp + "/updates")) {
+    history.assign(updates->counts.data(),
+                   updates->counts.data() + updates->counts.size());
+  }
+  runner.restore_progress(meta->completed_iterations, std::move(history),
+                          meta->converged);
   runner.adopt_loaded_shards(meta->id_bound);
+}
+
+// ---- generation-store glue (crash consistency across torn file writes) ----
+
+/// Stages a fresh generation datastore in `store`, saves the runner's
+/// checkpoint into it, and commits it (CRC + atomic manifest publication).
+/// Returns the committed generation record.
+template <typename T, typename DistanceFn>
+GenerationInfo write_checkpoint_generation(CheckpointStore& store,
+                                           DnndRunner<T, DistanceFn>& runner,
+                                           std::size_t capacity_bytes,
+                                           std::string_view prefix = "ckpt") {
+  const std::uint64_t gen = store.next_generation();
+  {
+    auto manager = pmem::Manager::create(store.generation_path(gen),
+                                         capacity_bytes);
+    save_checkpoint(manager, runner, prefix);
+    manager.close();
+  }
+  return store.commit(gen, runner.completed_iterations(), runner.converged());
+}
+
+/// Opens the newest CRC-valid generation (rolling back past torn ones) and
+/// loads it into `runner`. Returns the generation record, or nullopt when
+/// the store holds no valid checkpoint.
+template <typename T, typename DistanceFn>
+std::optional<GenerationInfo> load_latest_generation(
+    CheckpointStore& store, DnndRunner<T, DistanceFn>& runner,
+    std::string_view prefix = "ckpt") {
+  const auto info = store.open_latest();
+  if (!info.has_value()) return std::nullopt;
+  auto manager = pmem::Manager::open(store.directory() + "/" + info->file);
+  load_checkpoint(manager, runner, prefix);
+  return info;
 }
 
 }  // namespace dnnd::core

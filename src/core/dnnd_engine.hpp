@@ -157,6 +157,17 @@ class DnndEngine {
     return config_.k;
   }
 
+  /// The engine's RNG stream state. This stream is the *only* randomness
+  /// on the build path, so checkpointing it (and the neighbor rows) at an
+  /// iteration boundary is sufficient for a resumed build to replay the
+  /// remaining iterations bit-identically.
+  [[nodiscard]] std::array<std::uint64_t, 4> rng_state() const noexcept {
+    return rng_.state();
+  }
+  void set_rng_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    rng_.set_state(s);
+  }
+
   [[nodiscard]] const Partition& partition() const noexcept {
     return partition_;
   }

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <numeric>
@@ -273,7 +274,64 @@ class DnndRunner {
     max_id_bound_ = id_bound;
     refresh_counts();
   }
+
+  // ---- crash-stop fault tolerance (checkpoint / resume) -------------------
+
+  /// Arms per-iteration checkpointing: `hook(completed_iterations,
+  /// converged)` runs at the iteration barrier every `every` completed
+  /// iterations, plus once at the final iteration regardless of alignment.
+  /// `every == 0` disarms (zero overhead: one integer compare per
+  /// iteration). The hook must only *read* runner/engine state — it runs
+  /// at a quiescent cut and must not disturb it.
+  void set_checkpoint_hook(
+      std::size_t every,
+      std::function<void(std::size_t, bool)> hook = {}) {
+    checkpoint_every_ = every;
+    checkpoint_hook_ = std::move(hook);
+  }
+
+  /// Restores iteration bookkeeping saved by a checkpoint. Call after
+  /// load_checkpoint and before resume_build.
+  void restore_progress(std::size_t completed_iterations,
+                        std::vector<std::uint64_t> updates_history,
+                        bool converged) {
+    completed_iterations_ = completed_iterations;
+    updates_history_ = std::move(updates_history);
+    converged_ = converged;
+  }
+
+  /// Continues an interrupted build from restored checkpoint state: runs
+  /// the remaining NN-Descent iterations (none if the checkpoint was taken
+  /// at convergence). With engine rows + RNG streams restored from an
+  /// iteration-boundary cut, the resumed build is bit-identical to the
+  /// uninterrupted one.
+  DnndBuildStats resume_build() {
+    if (global_n_ == 0) {
+      throw std::logic_error("DnndRunner: load a checkpoint first");
+    }
+    DnndBuildStats stats;
+    util::Timer timer;
+    if (!converged_ && completed_iterations_ < config_.max_iterations) {
+      run_descent_loop(stats, config_.max_iterations - completed_iterations_);
+    }
+    stats.wall_seconds = timer.elapsed_s();
+    stats.distance_evals = total_distance_evals();
+    last_build_stats_ = stats;
+    return stats;
+  }
+
+  [[nodiscard]] std::size_t completed_iterations() const noexcept {
+    return completed_iterations_;
+  }
+  [[nodiscard]] bool converged() const noexcept { return converged_; }
+  /// Per-iteration global update counts since construction (across
+  /// build + refine calls); checkpointed so resumed stats stay exact.
+  [[nodiscard]] const std::vector<std::uint64_t>& updates_history()
+      const noexcept {
+    return updates_history_;
+  }
   [[nodiscard]] comm::Environment& environment() noexcept { return *env_; }
+  [[nodiscard]] const DnndConfig& config() const noexcept { return config_; }
   [[nodiscard]] const DnndBuildStats& last_build_stats() const noexcept {
     return last_build_stats_;
   }
@@ -315,12 +373,26 @@ class DnndRunner {
       const std::uint64_t c = collectives_.front()->sum();
       stats.updates_per_iteration.push_back(c);
       stats.total_updates += c;
+      ++completed_iterations_;
+      updates_history_.push_back(c);
       env_->telemetry(0).add(c_iterations_);
       env_->telemetry(0).record(h_updates_per_iter_, c);
       // One time-series snapshot per NN-Descent iteration: the per-rank
       // counter deltas between snapshots are what the stats tool plots.
       env_->sample_timeseries("iteration");
-      if (c < threshold || c == 0) break;
+      const bool converged_now = c < threshold || c == 0;
+      if (converged_now) converged_ = true;
+      const bool stop = converged_now || iter + 1 == max_iterations;
+      // The per-iteration barrier just completed is a consistent cut: the
+      // transport is quiescent, update counters were consumed by the
+      // allreduce, and all per-iteration cursors are reset. Checkpointing
+      // here (and on the final iteration, so a resume of a finished build
+      // is a no-op) is what makes exact resume possible.
+      if (checkpoint_every_ != 0 && checkpoint_hook_ &&
+          (completed_iterations_ % checkpoint_every_ == 0 || stop)) {
+        checkpoint_hook_(completed_iterations_, converged_);
+      }
+      if (converged_now) break;
     }
   }
 
@@ -389,10 +461,13 @@ class DnndRunner {
     } catch (const comm::TransportError& e) {
       // Retry exhaustion in the fault-injected transport: surface it with
       // the phase it interrupted so callers can tell a failed barrier from
-      // an algorithmic error. The build is not resumable past this point.
+      // an algorithmic error. The build is not resumable past this point
+      // within this environment (a recovery harness reopens a checkpoint
+      // in a fresh one). RankFailureError deliberately passes through
+      // untouched — its rank/epoch context is what the harness needs.
       throw comm::TransportError(
           std::string("DNND phase '") + label + "' aborted: " + e.what(),
-          e.source(), e.dest(), e.seq(), e.attempts());
+          e.source(), e.dest(), e.seq(), e.attempts(), e.epoch());
     }
     const double wall = timer.elapsed_s();
     double max_delta = 0, sum_delta = 0;
@@ -433,6 +508,11 @@ class DnndRunner {
   std::size_t global_n_ = 0;
   std::size_t max_id_bound_ = 0;
   bool optimized_ = false;
+  std::size_t completed_iterations_ = 0;
+  bool converged_ = false;
+  std::vector<std::uint64_t> updates_history_;
+  std::size_t checkpoint_every_ = 0;
+  std::function<void(std::size_t, bool)> checkpoint_hook_;
   DnndBuildStats last_build_stats_;
   std::map<std::string, PhaseCost> phase_profile_;
   telemetry::MetricId c_iterations_ = 0;

@@ -26,6 +26,13 @@ FaultInjector::FaultInjector(FaultPlan plan, int num_ranks)
     }
   }
   rank_states_.resize(n);
+  for (const CrashFault& crash : plan_.crashes) {
+    if (crash.rank < 0 || crash.rank >= num_ranks) {
+      throw std::invalid_argument("FaultInjector: crash rank out of range");
+    }
+    auto& state = rank_states_[static_cast<std::size_t>(crash.rank)];
+    state.crash_at = std::min(state.crash_at, crash.at_tick);
+  }
 }
 
 const EdgePolicy& FaultInjector::policy_for(int source, int dest) const {
@@ -73,14 +80,24 @@ void FaultInjector::route(int dest, Datagram&& datagram,
   }
 }
 
-bool FaultInjector::on_collect(int rank, const DeliverFn& deliver) {
+FaultInjector::CollectAction FaultInjector::on_collect(
+    int rank, const DeliverFn& deliver) {
   const std::lock_guard<std::mutex> lock(mutex_);
   auto& state = rank_states_[static_cast<std::size_t>(rank)];
   ++state.tick;
 
+  // Crash-stop beats every other fault: once the tick clock reaches the
+  // scheduled kill, the rank is dead and never collects again (the World
+  // stops calling on_collect for it after marking it dead).
+  if (state.tick >= state.crash_at) {
+    state.crash_at = ~std::uint64_t{0};
+    ++stats_.crashes_triggered;
+    return CollectAction{.stalled = false, .crashed = true};
+  }
+
   if (state.tick < state.stalled_until) {
     ++stats_.stall_ticks;
-    return true;
+    return CollectAction{.stalled = true};
   }
   if (plan_.stall > 0.0 && rng_.bernoulli(plan_.stall)) {
     state.stalled_until =
@@ -88,7 +105,7 @@ bool FaultInjector::on_collect(int rank, const DeliverFn& deliver) {
         rng_.uniform_below(std::max<std::uint32_t>(1, plan_.max_stall_ticks));
     ++stats_.stalls_entered;
     ++stats_.stall_ticks;
-    return true;
+    return CollectAction{.stalled = true};
   }
   // Release matured datagrams in insertion order (deterministic under the
   // sequential driver); the rest shift down and keep their order.
@@ -104,7 +121,7 @@ bool FaultInjector::on_collect(int rank, const DeliverFn& deliver) {
     }
   }
   state.delayed.resize(kept);
-  return false;
+  return CollectAction{};
 }
 
 FaultStats FaultInjector::stats() const {

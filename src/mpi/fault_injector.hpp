@@ -53,11 +53,26 @@ struct EdgeOverride {
   EdgePolicy policy;
 };
 
+/// Crash-stop fault: rank `rank` dies permanently when its tick clock
+/// reaches `at_tick` (ticks = try_collect calls on that rank, the same
+/// clock delays and stalls use). A dead rank's mailbox blackholes, it
+/// never collects again, and anything it posts afterwards is discarded —
+/// the World surfaces the liveness change via World::alive().
+struct CrashFault {
+  int rank = -1;
+  std::uint64_t at_tick = 0;
+};
+
 /// A complete, replayable fault schedule description.
 struct FaultPlan {
   std::uint64_t seed = 1;
   EdgePolicy defaults;
   std::vector<EdgeOverride> overrides;
+
+  /// Crash-stop schedule (process death, not message faults). Unlike the
+  /// probabilistic faults above, crashes are deterministic (rank, tick)
+  /// pairs so a kill-and-resume test can place them precisely.
+  std::vector<CrashFault> crashes;
 
   /// P(a rank enters a stall at any tick); stalled ranks observe an empty
   /// mailbox and hold back matured delayed datagrams until the stall ends.
@@ -77,6 +92,7 @@ struct FaultPlan {
   /// injector creation entirely so the fault-free path stays zero-overhead.
   [[nodiscard]] bool empty() const noexcept {
     if (force_protocol || stall > 0.0) return false;
+    if (!crashes.empty()) return false;
     if (defaults.active()) return false;
     for (const auto& o : overrides) {
       if (o.policy.active()) return false;
@@ -101,6 +117,7 @@ struct FaultStats {
   std::uint64_t stalls_entered = 0;
   std::uint64_t stall_ticks = 0;
   std::uint64_t released = 0;  ///< delayed datagrams handed back to mailboxes
+  std::uint64_t crashes_triggered = 0;  ///< scheduled crash-stops that fired
 };
 
 class FaultInjector {
@@ -118,10 +135,16 @@ class FaultInjector {
   /// immediate copies via `deliver`; delayed copies are parked internally.
   void route(int dest, Datagram&& datagram, const DeliverFn& deliver);
 
+  /// Outcome of one tick of a rank's collect clock.
+  struct CollectAction {
+    bool stalled = false;  ///< mailbox must appear empty this tick
+    bool crashed = false;  ///< a scheduled crash-stop fired this tick
+  };
+
   /// World::try_collect hook: advances `rank`'s tick clock, releases
-  /// matured delayed datagrams via `deliver`, and returns true when the
-  /// rank is stalled (its mailbox must appear empty this tick).
-  bool on_collect(int rank, const DeliverFn& deliver);
+  /// matured delayed datagrams via `deliver`, and reports whether the rank
+  /// is stalled this tick or just crashed (the World then marks it dead).
+  CollectAction on_collect(int rank, const DeliverFn& deliver);
 
   [[nodiscard]] FaultStats stats() const;
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
@@ -138,6 +161,8 @@ class FaultInjector {
     std::uint64_t tick = 0;
     std::uint64_t stalled_until = 0;  ///< stalled while tick < stalled_until
     std::vector<Delayed> delayed;     ///< unsorted; scanned on release
+    /// Earliest scheduled crash tick, or UINT64_MAX when none remains.
+    std::uint64_t crash_at = ~std::uint64_t{0};
   };
 
   [[nodiscard]] const EdgePolicy& policy_for(int source, int dest) const;

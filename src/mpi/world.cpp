@@ -9,6 +9,7 @@ namespace dnnd::mpi {
 
 World::World(int num_ranks) : num_ranks_(num_ranks) {
   if (num_ranks < 1) throw std::invalid_argument("World: num_ranks < 1");
+  dead_ = std::vector<std::atomic<bool>>(static_cast<std::size_t>(num_ranks));
   mailboxes_.reserve(static_cast<std::size_t>(num_ranks));
   for (int r = 0; r < num_ranks; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
@@ -35,9 +36,28 @@ void World::enqueue(int dest, Datagram&& datagram, bool front) {
   }
 }
 
+void World::kill_rank(int rank) {
+  assert(rank >= 0 && rank < num_ranks_);
+  dead_[static_cast<std::size_t>(rank)].store(true, std::memory_order_release);
+  // Discard anything already queued for the dead rank: a crashed process's
+  // receive queue evaporates with it. The submitted counters for those
+  // messages are NOT rolled back — the stranded debt is what keeps the
+  // world non-quiescent and forces the failure detector to end the phase.
+  auto& box = *mailboxes_[static_cast<std::size_t>(rank)];
+  const std::lock_guard<std::mutex> lock(box.mutex);
+  box.queue.clear();
+}
+
 void World::post(int dest, Datagram&& datagram) {
   assert(dest >= 0 && dest < num_ranks_);
   datagrams_.fetch_add(1, std::memory_order_relaxed);
+  // Blackhole both directions of a dead rank: nothing reaches its mailbox,
+  // and anything it posted post-mortem (a racing thread mid-flush) is lost.
+  if (!alive(dest) ||
+      (datagram.source >= 0 && datagram.source < num_ranks_ &&
+       !alive(datagram.source))) {
+    return;
+  }
   if (injector_ == nullptr) {
     enqueue(dest, std::move(datagram), /*front=*/false);
     return;
@@ -50,12 +70,17 @@ void World::post(int dest, Datagram&& datagram) {
 
 bool World::try_collect(int rank, Datagram& out) {
   assert(rank >= 0 && rank < num_ranks_);
+  if (!alive(rank)) return false;
   if (injector_ != nullptr) {
-    const bool stalled =
+    const FaultInjector::CollectAction action =
         injector_->on_collect(rank, [this](int to, Datagram&& d, bool front) {
           enqueue(to, std::move(d), front);
         });
-    if (stalled) return false;
+    if (action.crashed) {
+      kill_rank(rank);
+      return false;
+    }
+    if (action.stalled) return false;
   }
   auto& box = *mailboxes_[static_cast<std::size_t>(rank)];
   const std::lock_guard<std::mutex> lock(box.mutex);

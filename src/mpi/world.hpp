@@ -25,8 +25,11 @@ namespace dnnd::mpi {
 class FaultInjector;
 
 /// Wire-level datagram type: payload-carrying data vs. protocol
-/// acknowledgements (only emitted when the retry/dedup protocol is active).
-enum class DatagramKind : std::uint8_t { kData = 0, kAck = 1 };
+/// acknowledgements and liveness heartbeats (the latter two only flow when
+/// the retry/dedup protocol is active). Acks and heartbeats are
+/// unsequenced and never counted toward the termination-detection
+/// counters — they are transport bookkeeping, not application messages.
+enum class DatagramKind : std::uint8_t { kData = 0, kAck = 1, kHeartbeat = 2 };
 
 /// One transport-level datagram. A datagram may carry several application
 /// messages packed back-to-back by the communicator's send buffering.
@@ -86,6 +89,33 @@ class World {
   }
   [[nodiscard]] bool faulty() const noexcept { return injector_ != nullptr; }
 
+  // -- crash-stop liveness -----------------------------------------------
+  //
+  // A dead rank models a crashed MPI process: its mailbox blackholes
+  // (pending datagrams are discarded, new ones never enqueue), it never
+  // collects again, and datagrams it posts post-mortem are dropped. The
+  // submitted/processed counters are deliberately left untouched, so a
+  // crash that strands in-flight messages keeps the world permanently
+  // non-quiescent — the failure detector, not the barrier, must end the
+  // phase.
+
+  /// Marks `rank` dead (idempotent). Called by try_collect when a
+  /// scheduled CrashFault fires, or directly by tests/harnesses.
+  void kill_rank(int rank);
+
+  [[nodiscard]] bool alive(int rank) const noexcept {
+    return !dead_[static_cast<std::size_t>(rank)].load(
+        std::memory_order_acquire);
+  }
+
+  /// Lowest dead rank, or -1 when every rank is alive.
+  [[nodiscard]] int first_dead() const noexcept {
+    for (int r = 0; r < num_ranks_; ++r) {
+      if (!alive(r)) return r;
+    }
+    return -1;
+  }
+
   [[nodiscard]] bool mailbox_empty(int rank) const;
 
   /// Current queued datagram count in `rank`'s mailbox (takes the mailbox
@@ -132,6 +162,9 @@ class World {
 
   int num_ranks_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  /// Per-rank dead flags (crash-stop). Atomic: the threaded driver reads
+  /// liveness from every rank's thread.
+  std::vector<std::atomic<bool>> dead_;
   std::unique_ptr<FaultInjector> injector_;
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> processed_{0};

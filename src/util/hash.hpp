@@ -6,7 +6,10 @@
 // std::hash (whose value is unspecified), so we fix a concrete mixer.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 namespace dnnd::util {
@@ -32,6 +35,51 @@ namespace dnnd::util {
 [[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
                                                    std::uint64_t v) noexcept {
   return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+namespace detail {
+/// Reflected CRC-32 (IEEE 802.3, polynomial 0xEDB88320) lookup table.
+inline constexpr std::array<std::uint32_t, 256> crc32_table = [] {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}();
+}  // namespace detail
+
+/// Streaming CRC-32: feed chunks via update(), read value(). Used by the
+/// checkpoint store to validate generation files (a torn or bit-flipped
+/// write must be detected, never loaded).
+class Crc32 {
+ public:
+  void update(const void* data, std::size_t bytes) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      state_ = detail::crc32_table[(state_ ^ p[i]) & 0xFFu] ^ (state_ >> 8);
+    }
+  }
+  [[nodiscard]] std::uint32_t value() const noexcept { return ~state_; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a byte span ("123456789" -> 0xCBF43926).
+[[nodiscard]] inline std::uint32_t crc32(std::span<const std::byte> bytes) noexcept {
+  Crc32 crc;
+  crc.update(bytes.data(), bytes.size());
+  return crc.value();
+}
+
+[[nodiscard]] inline std::uint32_t crc32(std::string_view bytes) noexcept {
+  Crc32 crc;
+  crc.update(bytes.data(), bytes.size());
+  return crc.value();
 }
 
 /// Owner rank of a vertex id. All modules must agree on this mapping.

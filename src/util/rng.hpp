@@ -7,6 +7,7 @@
 // through splitmix64, the combination recommended by its authors.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 
@@ -95,6 +96,20 @@ class Xoshiro256 {
 
   /// Bernoulli trial with success probability p.
   constexpr bool bernoulli(double p) noexcept { return uniform_double() < p; }
+
+  // -- checkpointable state ------------------------------------------------
+  //
+  // The generator's full state is its four 64-bit words; exposing them lets
+  // a checkpoint resume the exact stream (crash-stop fault tolerance needs
+  // the resumed build to draw the same values it would have drawn).
+
+  [[nodiscard]] constexpr std::array<std::uint64_t, 4> state() const noexcept {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  constexpr void set_state(const std::array<std::uint64_t, 4>& s) noexcept {
+    for (int i = 0; i < 4; ++i) state_[i] = s[static_cast<std::size_t>(i)];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {

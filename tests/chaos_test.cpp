@@ -222,11 +222,22 @@ TEST(Chaos, ReplayFilterMatchesAKnownCombination) {
       known = known || std::string(plan) == p.name;
       valid += std::string(" ") + p.name;
     }
+    // tests/run_chaos.sh drives this suite AND the recovery suite with the
+    // same replay variable, so kill plans (tests/recovery_test.cpp) are
+    // valid-but-foreign here: they must not trip the typo guard.
+    for (const char* p :
+         {"kill_r1_early", "kill_r0_mid", "kill_r3_late", "double_kill"}) {
+      known = known || std::string(plan) == p;
+      valid += std::string(" ") + p;
+    }
     EXPECT_TRUE(known) << "DNND_CHAOS_PLAN='" << plan
                        << "' matches no plan; valid:" << valid;
   }
   if (const char* seed = std::getenv("DNND_CHAOS_SEED")) {
-    const auto seeds = matrix_engine_seeds();
+    auto seeds = matrix_engine_seeds();
+    // The recovery matrix (tests/recovery_test.cpp) replays through the
+    // same variable; its seeds are valid-but-foreign here.
+    seeds.insert(seeds.end(), {21, 22});
     const std::uint64_t want = std::stoull(seed);
     const bool known = std::find(seeds.begin(), seeds.end(), want) !=
                        seeds.end();

@@ -3,10 +3,12 @@
 // topology mismatches are rejected.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
 #include <filesystem>
 
 #include "baselines/brute_force.hpp"
+#include "pmem/allocator.hpp"
 #include "comm/environment.hpp"
 #include "core/distance.hpp"
 #include "core/dnnd_checkpoint.hpp"
@@ -155,6 +157,107 @@ TEST_F(CheckpointTest, MissingCheckpointRejected) {
   core::DnndRunner<float, L2Fn> runner(env, cfg, L2Fn{});
   EXPECT_THROW(core::load_checkpoint(mgr, runner, "nope"),
                std::runtime_error);
+}
+
+// A mid-build checkpoint is an iteration-boundary consistent cut: it
+// carries iteration bookkeeping and every engine's RNG stream, so a
+// resumed build replays the remaining iterations bit-identically.
+TEST_F(CheckpointTest, MidBuildCutRestoresRngAndResumesBitIdentically) {
+  const auto points = clustered(300);
+  core::DnndConfig cfg;
+  cfg.k = 8;
+
+  // Fault-free uninterrupted reference.
+  core::KnnGraph full_graph;
+  {
+    comm::Environment env(comm::Config{.num_ranks = 4});
+    core::DnndRunner<float, L2Fn> runner(env, cfg, L2Fn{});
+    runner.distribute(points);
+    runner.build();
+    full_graph = runner.gather();
+  }
+
+  // Interrupted build: stop after 3 iterations and checkpoint the cut.
+  std::array<std::array<std::uint64_t, 4>, 4> saved_rng{};
+  std::vector<std::uint64_t> saved_history;
+  {
+    comm::Environment env(comm::Config{.num_ranks = 4});
+    core::DnndConfig truncated = cfg;
+    truncated.max_iterations = 3;
+    core::DnndRunner<float, L2Fn> partial(env, truncated, L2Fn{});
+    partial.distribute(points);
+    partial.build();
+    EXPECT_EQ(partial.completed_iterations(), 3u);
+    for (int r = 0; r < 4; ++r) {
+      saved_rng[static_cast<std::size_t>(r)] = partial.engine(r).rng_state();
+    }
+    saved_history = partial.updates_history();
+    auto mgr = pmem::Manager::create(path_, 64 << 20);
+    core::save_checkpoint(mgr, partial, "ckpt");
+  }
+
+  // Restore: RNG streams, progress, and history come back exactly, and
+  // the resumed remainder reproduces the uninterrupted graph.
+  comm::Environment env(comm::Config{.num_ranks = 4});
+  core::DnndRunner<float, L2Fn> runner(env, cfg, L2Fn{});
+  {
+    auto mgr = pmem::Manager::open(path_);
+    core::load_checkpoint(mgr, runner, "ckpt");
+  }
+  EXPECT_EQ(runner.completed_iterations(), 3u);
+  EXPECT_FALSE(runner.converged());
+  EXPECT_EQ(runner.updates_history(), saved_history);
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(runner.engine(r).rng_state(),
+              saved_rng[static_cast<std::size_t>(r)])
+        << "rank " << r << " RNG stream not restored";
+  }
+  runner.resume_build();
+  EXPECT_EQ(runner.gather(), full_graph);
+}
+
+// The A/B slot scheme: a save that dies mid-write (simulated by arena
+// exhaustion) must leave the previous checkpoint loadable — the head only
+// flips to the new slot after the slot is fully written.
+TEST_F(CheckpointTest, TornSecondSaveKeepsFirstCheckpointLoadable) {
+  const auto points = clustered(200);
+  core::DnndConfig cfg;
+  cfg.k = 6;
+  comm::Environment env(comm::Config{.num_ranks = 2});
+  core::DnndRunner<float, L2Fn> runner(env, cfg, L2Fn{});
+  runner.distribute(points);
+  runner.build();
+
+  // Probe how much one save allocates, then size the real arena so the
+  // first save fits but the second runs out of space partway through.
+  std::size_t one_save_bytes = 0;
+  {
+    const std::string probe_path = path_ + ".probe";
+    auto probe = pmem::Manager::create(probe_path, 64 << 20);
+    core::save_checkpoint(probe, runner, "ckpt");
+    one_save_bytes = probe.allocated_bytes();
+    probe.close();
+    std::remove(probe_path.c_str());
+  }
+  auto mgr = pmem::Manager::create(path_, one_save_bytes + one_save_bytes / 2);
+  core::save_checkpoint(mgr, runner, "ckpt");
+  const auto first_graph = runner.gather();
+
+  // Mutate, then attempt a second save that will die mid-write.
+  core::FeatureStore<float> extra;
+  extra.add(200, points[1]);
+  runner.add_points(extra);
+  runner.refine();
+  EXPECT_THROW(core::save_checkpoint(mgr, runner, "ckpt"),
+               pmem::ArenaExhausted);
+
+  // The torn save must not have been published: a fresh load still sees
+  // the first checkpoint's state.
+  comm::Environment env2(comm::Config{.num_ranks = 2});
+  core::DnndRunner<float, L2Fn> restored(env2, cfg, L2Fn{});
+  core::load_checkpoint(mgr, restored, "ckpt");
+  EXPECT_EQ(restored.global_count(), 200u);
+  EXPECT_EQ(restored.gather(), first_graph);
 }
 
 TEST_F(CheckpointTest, OverwritingCheckpointKeepsLatestState) {

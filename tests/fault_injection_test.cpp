@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
 #include "baselines/brute_force.hpp"
@@ -348,6 +349,202 @@ struct L2Fn {
     return core::l2(a, b);
   }
 };
+
+// ---------------------------------------------------------------------------
+// Crash-stop faults: scheduling, World liveness, heartbeat detection.
+// ---------------------------------------------------------------------------
+
+TEST(CrashFault, PlanWithCrashesIsNotEmpty) {
+  FaultPlan plan;
+  plan.crashes.push_back(mpi::CrashFault{.rank = 1, .at_tick = 10});
+  EXPECT_FALSE(plan.empty());
+}
+
+TEST(CrashFault, OutOfRangeRankRejected) {
+  FaultPlan plan;
+  plan.crashes.push_back(mpi::CrashFault{.rank = 7, .at_tick = 10});
+  EXPECT_THROW(mpi::FaultInjector(plan, 4), std::invalid_argument);
+  plan.crashes.front().rank = -1;
+  EXPECT_THROW(mpi::FaultInjector(plan, 4), std::invalid_argument);
+}
+
+TEST(World, KillRankBlackholesBothDirections) {
+  mpi::World world(3);
+  EXPECT_TRUE(world.alive(1));
+  EXPECT_EQ(world.first_dead(), -1);
+
+  world.kill_rank(1);
+  EXPECT_FALSE(world.alive(1));
+  EXPECT_TRUE(world.alive(0));
+  EXPECT_EQ(world.first_dead(), 1);
+
+  // To a dead rank: swallowed (its mailbox stays empty).
+  world.post(1, mpi::Datagram{.source = 0, .message_count = 1});
+  mpi::Datagram out;
+  EXPECT_FALSE(world.try_collect(1, out));
+  // From a dead rank: swallowed before it reaches a live mailbox.
+  world.post(0, mpi::Datagram{.source = 1, .message_count = 1});
+  EXPECT_FALSE(world.try_collect(0, out));
+  // Live pairs keep flowing.
+  world.post(2, mpi::Datagram{.source = 0, .message_count = 1});
+  EXPECT_TRUE(world.try_collect(2, out));
+  EXPECT_EQ(out.source, 0);
+}
+
+TEST(World, KillRankDiscardsItsQueuedMail) {
+  mpi::World world(2);
+  world.post(1, mpi::Datagram{.source = 0, .message_count = 1});
+  world.kill_rank(1);
+  mpi::Datagram out;
+  EXPECT_FALSE(world.try_collect(1, out));
+}
+
+// RankFailureError is deliberately NOT a TransportError: retry wrappers
+// that absorb transport faults must never absorb a rank death.
+static_assert(
+    !std::is_base_of_v<comm::TransportError, comm::RankFailureError>);
+static_assert(std::is_base_of_v<std::runtime_error, comm::RankFailureError>);
+
+TEST(CrashFault, ScheduledCrashRaisesStructuredRankFailure) {
+  FaultPlan plan;
+  // Crash tick 2: rank 1 dies after collecting two datagrams, with the
+  // rest of its inbound stream stranded (the small send buffer forces
+  // several datagrams per pair, so the stream is still in flight).
+  plan.crashes.push_back(mpi::CrashFault{.rank = 1, .at_tick = 2});
+  Config cfg{.num_ranks = 3};
+  cfg.send_buffer_bytes = 64;
+  cfg.fault_plan = plan;
+  Environment env(cfg);
+  ASSERT_TRUE(env.comm(0).detecting_failures());
+
+  std::vector<HandlerId> h(3);
+  for (int r = 0; r < 3; ++r) {
+    h[static_cast<std::size_t>(r)] = env.comm(r).register_handler(
+        "x", [](int, serial::InArchive& ar) { ar.read<std::uint32_t>(); });
+  }
+  try {
+    env.execute_phase([&](int rank) {
+      for (int dest = 0; dest < 3; ++dest) {
+        if (dest == rank) continue;
+        for (std::uint32_t i = 0; i < 32; ++i) {
+          env.comm(rank).async(dest, h[static_cast<std::size_t>(rank)], i);
+        }
+      }
+    });
+    FAIL() << "expected RankFailureError";
+  } catch (const comm::RankFailureError& e) {
+    EXPECT_EQ(e.failed_rank(), 1);
+    EXPECT_NE(e.detected_by(), 1) << "a dead rank cannot accuse anyone";
+    EXPECT_GE(e.epoch(), 1u);
+    EXPECT_NE(std::string(e.what()).find("rank 1"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(env.fault_stats().crashes_triggered, 1u);
+  EXPECT_FALSE(env.world().alive(1));
+}
+
+TEST(CrashFault, NeverFiringCrashKeepsDeliveryExactDespiteHeartbeats) {
+  // A crash scheduled far beyond the run enables the heartbeat detector
+  // without ever firing: the workload must stay exactly-once and quiesce.
+  FaultPlan plan;
+  plan.crashes.push_back(
+      mpi::CrashFault{.rank = 1, .at_tick = 50'000'000});
+  Config cfg{.num_ranks = 4};
+  cfg.send_buffer_bytes = 96;
+  cfg.fault_plan = plan;
+  // The heartbeat clock advances once per process_available round and a
+  // small all-to-all can drain in a single round — period 1 guarantees a
+  // beat flows on every round, including the only one.
+  cfg.heartbeat_period_ticks = 1;
+  Environment env(cfg);
+  ASSERT_TRUE(env.comm(0).detecting_failures());
+
+  std::atomic<std::uint64_t> sum{0};
+  std::vector<HandlerId> h(4);
+  for (int r = 0; r < 4; ++r) {
+    h[static_cast<std::size_t>(r)] = env.comm(r).register_handler(
+        "acc", [&](int, serial::InArchive& ar) {
+          sum.fetch_add(ar.read<std::uint32_t>(), std::memory_order_relaxed);
+        });
+  }
+  env.execute_phase([&](int rank) {
+    for (int dest = 0; dest < 4; ++dest) {
+      if (dest == rank) continue;
+      for (std::uint32_t i = 1; i <= 64; ++i) {
+        env.comm(rank).async(dest, h[static_cast<std::size_t>(rank)], i);
+      }
+    }
+  });
+  EXPECT_TRUE(env.world().quiescent());
+  const auto transport = env.aggregate_transport_counters();
+  EXPECT_EQ(sum.load(), expected_sum(4, 64));
+  EXPECT_GT(transport.heartbeats_sent, 0u);
+  EXPECT_EQ(transport.heartbeats_missed, 0u);
+  EXPECT_EQ(env.fault_stats().crashes_triggered, 0u);
+}
+
+TEST(CrashFault, StalledRankIsNotAccusedOfDeath) {
+  // Stalls blank a rank's mailbox but the rank keeps heartbeating once it
+  // wakes; with generous stall lengths below the failure timeout, no
+  // failure may be reported.
+  FaultPlan plan;
+  plan.seed = 0x57a11;
+  plan.stall = 0.05;
+  plan.max_stall_ticks = 12;
+  plan.crashes.push_back(
+      mpi::CrashFault{.rank = 2, .at_tick = 50'000'000});
+  const auto r = run_exactly_once(plan, DriverKind::kSequential);
+  EXPECT_EQ(r.sum, expected_sum(4, 64));
+  EXPECT_GT(r.faults.stalls_entered, 0u);
+  EXPECT_EQ(r.faults.crashes_triggered, 0u);
+}
+
+TEST(CrashFault, ThreadedDriverPropagatesRankFailure) {
+  FaultPlan plan;
+  plan.crashes.push_back(mpi::CrashFault{.rank = 2, .at_tick = 5});
+  Config cfg{.num_ranks = 3, .driver = DriverKind::kThreaded};
+  cfg.fault_plan = plan;
+  Environment env(cfg);
+  std::vector<HandlerId> h(3);
+  for (int r = 0; r < 3; ++r) {
+    h[static_cast<std::size_t>(r)] = env.comm(r).register_handler(
+        "x", [](int, serial::InArchive& ar) { ar.read<std::uint32_t>(); });
+  }
+  EXPECT_THROW(env.execute_phase([&](int rank) {
+    for (int dest = 0; dest < 3; ++dest) {
+      if (dest == rank) continue;
+      for (std::uint32_t i = 0; i < 32; ++i) {
+        env.comm(rank).async(dest, h[static_cast<std::size_t>(rank)], i);
+      }
+    }
+  }),
+               comm::RankFailureError);
+  EXPECT_FALSE(env.world().alive(2));
+}
+
+TEST(CrashFault, DetectionOffFallsBackToRetryExhaustion) {
+  // Forcing detection off (kFailureDetectionOff) restores the PR 1
+  // behaviour: a dead peer eventually surfaces as retry exhaustion.
+  FaultPlan plan;
+  plan.crashes.push_back(mpi::CrashFault{.rank = 1, .at_tick = 1});
+  Config cfg{.num_ranks = 2};
+  cfg.fault_plan = plan;
+  cfg.failure_timeout_ticks = comm::kFailureDetectionOff;
+  cfg.retry = comm::RetryConfig{.max_retries = 4,
+                                .initial_backoff_ticks = 1,
+                                .max_backoff_ticks = 4};
+  Environment env(cfg);
+  EXPECT_FALSE(env.comm(0).detecting_failures());
+  std::vector<HandlerId> h(2);
+  for (int r = 0; r < 2; ++r) {
+    h[static_cast<std::size_t>(r)] = env.comm(r).register_handler(
+        "x", [](int, serial::InArchive& ar) { ar.read<std::uint8_t>(); });
+  }
+  EXPECT_THROW(env.execute_phase([&](int rank) {
+    if (rank == 0) env.comm(0).async(1, h[0], std::uint8_t{1});
+  }),
+               TransportError);
+}
 
 TEST(FaultInjection, DnndBuildSurfacesTransportErrorWithPhase) {
   data::MixtureSpec spec;

@@ -7,9 +7,11 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <random>
 #include <string>
 #include <vector>
 
+#include "core/checkpoint_store.hpp"
 #include "pmem/allocator.hpp"
 #include "pmem/arena.hpp"
 #include "pmem/manager.hpp"
@@ -320,6 +322,136 @@ TEST(Manager, MoveTransfersOwnership) {
   EXPECT_FALSE(mgr.is_open());  // NOLINT(bugprone-use-after-move)
   EXPECT_TRUE(moved.is_open());
   EXPECT_EQ(*moved.find<int>("k"), 3);
+}
+
+// -- torn-write properties of the checkpoint generation store -----------------
+//
+// CheckpointStore's crash-consistency claim: whatever happens to the
+// *newest* generation file after commit (truncation mid-write, bit flips,
+// garbage appended), open_latest() never returns it — it rolls back to the
+// last CRC-valid generation, or to "no checkpoint" when none survives.
+// Exercised here as a randomized property over corruption kinds/offsets.
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name) : path_(temp_path(name)) {
+    std::filesystem::remove_all(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// Commits one generation whose file holds `bytes` pseudo-random bytes
+/// (commit() only CRCs the file; the store is format-agnostic).
+dnnd::core::GenerationInfo commit_generation(dnnd::core::CheckpointStore& store,
+                                             std::uint64_t iteration,
+                                             std::size_t bytes,
+                                             std::mt19937_64& rng) {
+  const std::uint64_t gen = store.next_generation();
+  std::ofstream out(store.generation_path(gen), std::ios::binary);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    out.put(static_cast<char>(rng() & 0xFF));
+  }
+  out.close();
+  return store.commit(gen, iteration, false);
+}
+
+TEST(CheckpointStoreTornWrites, RandomCorruptionAlwaysRollsBack) {
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    SCOPED_TRACE("property seed " + std::to_string(seed));
+    std::mt19937_64 rng(seed);
+    TempDir dir("dnnd_store_torn_" + std::to_string(seed));
+    dnnd::core::CheckpointStore store(dir.path());
+    const auto good = commit_generation(store, 3, 8192, rng);
+    const auto newest = commit_generation(store, 6, 8192, rng);
+    ASSERT_EQ(store.open_latest()->generation, newest.generation);
+
+    const std::string newest_path = dir.path() + "/" + newest.file;
+    const auto kind = rng() % 3;
+    if (kind == 0) {
+      // Torn write: truncate at a random interior offset.
+      const auto keep = rng() % newest.bytes;
+      std::filesystem::resize_file(newest_path, keep);
+    } else if (kind == 1) {
+      // Bit flip at a random offset.
+      std::fstream f(newest_path,
+                     std::ios::in | std::ios::out | std::ios::binary);
+      const auto at = static_cast<std::streamoff>(rng() % newest.bytes);
+      f.seekg(at);
+      char byte = 0;
+      f.read(&byte, 1);
+      byte = static_cast<char>(byte ^ (1 << (rng() % 8)));
+      f.seekp(at);
+      f.write(&byte, 1);
+    } else {
+      // Trailing garbage (e.g. a crashed re-extend).
+      std::ofstream f(newest_path, std::ios::binary | std::ios::app);
+      f.put('x');
+    }
+
+    EXPECT_FALSE(store.valid(newest));
+    const auto opened = store.open_latest();
+    ASSERT_TRUE(opened.has_value());
+    EXPECT_EQ(opened->generation, good.generation);
+    EXPECT_EQ(opened->iteration, 3u);
+  }
+}
+
+TEST(CheckpointStoreTornWrites, AllGenerationsCorruptMeansNoCheckpoint) {
+  std::mt19937_64 rng(99);
+  TempDir dir("dnnd_store_all_torn");
+  dnnd::core::CheckpointStore store(dir.path());
+  commit_generation(store, 1, 2048, rng);
+  commit_generation(store, 2, 2048, rng);
+  for (const auto& gen : store.generations()) {
+    std::filesystem::resize_file(dir.path() + "/" + gen.file, 16);
+  }
+  EXPECT_FALSE(store.open_latest().has_value());
+}
+
+TEST(CheckpointStoreTornWrites, DeletedGenerationFileRollsBackToo) {
+  std::mt19937_64 rng(7);
+  TempDir dir("dnnd_store_deleted");
+  dnnd::core::CheckpointStore store(dir.path());
+  const auto good = commit_generation(store, 2, 1024, rng);
+  const auto newest = commit_generation(store, 4, 1024, rng);
+  std::filesystem::remove(dir.path() + "/" + newest.file);
+  ASSERT_TRUE(store.open_latest().has_value());
+  EXPECT_EQ(store.open_latest()->generation, good.generation);
+}
+
+TEST(CheckpointStoreTornWrites, MalformedManifestReadsAsEmptyStore) {
+  std::mt19937_64 rng(13);
+  TempDir dir("dnnd_store_bad_manifest");
+  dnnd::core::CheckpointStore store(dir.path());
+  commit_generation(store, 1, 512, rng);
+  {
+    std::ofstream out(dir.path() + "/MANIFEST.json",
+                      std::ios::binary | std::ios::trunc);
+    out << "{\"schema\":\"dnnd.checkpoint.v1\",\"generations\":[{\"gen";
+  }
+  EXPECT_TRUE(store.generations().empty());
+  EXPECT_FALSE(store.open_latest().has_value());
+}
+
+TEST(CheckpointStore, PrunesToTheTwoNewestGenerations) {
+  std::mt19937_64 rng(21);
+  TempDir dir("dnnd_store_prune");
+  dnnd::core::CheckpointStore store(dir.path());
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    commit_generation(store, i, 1024, rng);
+  }
+  const auto gens = store.generations();
+  ASSERT_EQ(gens.size(), dnnd::core::CheckpointStore::kKeepGenerations);
+  EXPECT_EQ(gens.front().generation, 4u);
+  EXPECT_EQ(gens.back().generation, 5u);
+  // Pruned files are gone from disk; retained ones still validate.
+  EXPECT_FALSE(std::filesystem::exists(dir.path() + "/gen-1.dat"));
+  EXPECT_FALSE(std::filesystem::exists(dir.path() + "/gen-3.dat"));
+  for (const auto& gen : gens) EXPECT_TRUE(store.valid(gen));
 }
 
 }  // namespace

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Chaos-test driver: builds the repo and runs the `chaos`-labelled suite
-# (full DNND builds over a matrix of engine seeds x fault plans x drivers).
+# Chaos-test driver: builds the repo and runs the `chaos`- and
+# `recovery`-labelled suites (full DNND builds over a matrix of engine
+# seeds x fault plans x drivers, plus kill-and-resume recovery runs over
+# seeds x kill plans).
 #
 # Usage:
-#   tests/run_chaos.sh                 # run the whole chaos matrix
+#   tests/run_chaos.sh                 # run the whole chaos+recovery matrix
 #   tests/run_chaos.sh -s 12 -p drop_heavy
 #                                      # replay one combination (the values
 #                                      # printed by a failing run's
-#                                      # "replay:" trace line)
+#                                      # "replay:" trace line; kill plans
+#                                      # such as kill_r0_mid select the
+#                                      # recovery matrix the same way)
 #   DNND_SANITIZE=thread tests/run_chaos.sh
 #                                      # same matrix under TSan
 #
@@ -25,7 +29,7 @@ while getopts "s:p:h" opt; do
     s) seed="$OPTARG" ;;
     p) plan="$OPTARG" ;;
     h)
-      sed -n '2,16p' "$0"
+      sed -n '2,19p' "$0"
       exit 0
       ;;
     *) exit 2 ;;
@@ -40,10 +44,10 @@ if [[ -n "${DNND_SANITIZE:-}" ]]; then
 fi
 
 cmake "${cmake_args[@]}"
-cmake --build "$build_dir" -j --target test_chaos test_fault_injection
+cmake --build "$build_dir" -j --target test_chaos test_fault_injection test_recovery
 
 if [[ -n "$seed" ]]; then export DNND_CHAOS_SEED="$seed"; fi
 if [[ -n "$plan" ]]; then export DNND_CHAOS_PLAN="$plan"; fi
 
 cd "$build_dir"
-ctest -L chaos --output-on-failure -j "$(nproc)"
+ctest -L 'chaos|recovery' --no-tests=error --output-on-failure -j "$(nproc)"

@@ -40,6 +40,11 @@ for name in "${selected[@]}"; do
   cmake -B "$build_dir" -S . ${configs[$name]}
   cmake --build "$build_dir" -j
   (cd "$build_dir" && ctest -L tier1 --output-on-failure -j "$(nproc)")
+  # Kill-and-resume recovery must hold in every flavour: checkpoint and
+  # resume paths are instrumented, so a telemetry-off build exercising the
+  # same matrix proves recovery does not depend on the counters existing.
+  (cd "$build_dir" &&
+   ctest -L recovery --no-tests=error --output-on-failure -j "$(nproc)")
   # Metrics regression gate in every flavour: the baseline is recorded
   # with tracing disabled, so handler byte counters must match even under
   # DNND_TELEMETRY=OFF — a mismatch there means telemetry leaked bytes
