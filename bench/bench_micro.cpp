@@ -4,17 +4,29 @@
 //
 // These are not paper experiments; they exist so regressions in the
 // substrate are visible independently of the end-to-end benches.
+//
+// After the google-benchmark suite, main() runs the distance-kernel sweep
+// (metric × element type × dim × batch × dispatch) and writes the rows —
+// evals/s, effective GB/s, and SIMD speedup over the pinned scalar
+// reference — to BENCH_micro.json (schema dnnd.bench.v1, see
+// bench/common.hpp). The committed snapshot of that file is the measured
+// evidence for the kernel-layer speedup claims in EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <vector>
 
 #include "comm/environment.hpp"
+#include "common.hpp"
 #include "core/distance.hpp"
+#include "core/distance_kernels.hpp"
+#include "core/feature_store.hpp"
 #include "core/neighbor_list.hpp"
 #include "pmem/allocator.hpp"
 #include "pmem/arena.hpp"
 #include "serial/archive.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -161,6 +173,138 @@ void BM_ArenaAllocateFree(benchmark::State& state) {
 }
 BENCHMARK(BM_ArenaAllocateFree)->Arg(32)->Arg(512)->Arg(8192);
 
+// ---- distance-kernel sweep (BENCH_micro.json) --------------------------
+
+template <typename T>
+struct KernelCase {
+  const char* metric;
+  void (*batch)(const T*, const T* const*, std::size_t, std::size_t,
+                core::Dist*);
+};
+
+template <typename T>
+const KernelCase<T> kKernelCases[] = {
+    {"squared_l2", &core::k_batch_squared_l2<T>},
+    {"cosine", &core::k_batch_cosine<T>},
+    {"inner_product", &core::k_batch_inner_product<T>},
+};
+
+/// Evals/s for one (metric, dim, batch, dispatch) cell: repeated batched
+/// sweeps over a 1024-row padded block store, timed after a warmup pass.
+template <typename T>
+double measure_evals_per_sec(const KernelCase<T>& kc,
+                             const core::DenseBlockStore<T>& store,
+                             const std::vector<T>& query, std::size_t batch) {
+  const std::size_t n = store.size();
+  std::vector<const T*> ptrs(n);
+  for (std::size_t i = 0; i < n; ++i) ptrs[i] = store.row_ptr(i);
+  std::vector<core::Dist> out(batch);
+  const std::size_t dim = store.dim();
+
+  auto sweep = [&]() {
+    for (std::size_t base = 0; base + batch <= n; base += batch) {
+      kc.batch(query.data(), ptrs.data() + base, batch, dim, out.data());
+      benchmark::DoNotOptimize(out.data());
+    }
+    return n / batch * batch;  // evals per sweep
+  };
+  (void)sweep();  // warmup: faults pages, resolves dispatch
+
+  std::uint64_t evals = 0;
+  util::Timer timer;
+  double elapsed = 0;
+  do {
+    evals += sweep();
+    elapsed = timer.elapsed_s();
+  } while (elapsed < 0.2);
+  return static_cast<double>(evals) / elapsed;
+}
+
+template <typename T>
+void kernel_sweep_rows(bench::BenchReport& report) {
+  const char* type_name = std::is_same_v<T, float> ? "f32" : "u8";
+  util::Xoshiro256 rng(0xBE7C);
+  for (const std::size_t dim : {64UL, 128UL, 768UL}) {
+    core::DenseBlockStore<T> store;
+    store.reserve(1024);
+    std::vector<T> feature(dim);
+    for (std::size_t i = 0; i < 1024; ++i) {
+      for (auto& x : feature) {
+        if constexpr (std::is_same_v<T, float>) {
+          x = rng.uniform_float(-1, 1);
+        } else {
+          x = static_cast<T>(rng.uniform_below(256));
+        }
+      }
+      store.add(static_cast<core::VertexId>(i), feature);
+    }
+    std::vector<T> query(store.row(0).begin(), store.row(0).end());
+
+    for (const std::size_t batch : {1UL, 8UL, 64UL}) {
+      for (const auto& kc : kKernelCases<T>) {
+        // Candidate row + query stream per evaluation.
+        const double bytes_per_eval = 2.0 * static_cast<double>(dim) *
+                                      static_cast<double>(sizeof(T));
+        double scalar_rate = 0;
+        for (const bool simd : {false, true}) {
+          if (simd && !(core::simd_kernels_compiled() &&
+                        core::simd_runtime_supported())) {
+            continue;
+          }
+          core::ScopedKernelDispatch d(
+              simd ? core::KernelDispatch::kForceSimd
+                   : core::KernelDispatch::kForceScalar);
+          const double rate = measure_evals_per_sec(kc, store, query, batch);
+          if (!simd) scalar_rate = rate;
+          const char* dispatch = simd ? "simd" : "scalar";
+          auto& row = report.add_row(std::string("kernel/") + kc.metric + "/" +
+                                     type_name + "/dim" +
+                                     std::to_string(dim) + "/batch" +
+                                     std::to_string(batch) + "/" + dispatch);
+          row.params["metric"] = kc.metric;
+          row.params["type"] = type_name;
+          row.params["dim"] = std::to_string(dim);
+          row.params["batch"] = std::to_string(batch);
+          row.params["dispatch"] = dispatch;
+          row.metrics["evals_per_sec"] = rate;
+          row.metrics["gbps"] = rate * bytes_per_eval / 1e9;
+          if (simd && scalar_rate > 0) {
+            row.metrics["speedup_vs_scalar"] = rate / scalar_rate;
+          }
+          std::printf(
+              "kernel %-13s %-3s dim %4zu batch %3zu %-6s  %10.3e evals/s  "
+              "%7.2f GB/s%s\n",
+              kc.metric, type_name, dim, batch, dispatch, rate,
+              rate * bytes_per_eval / 1e9,
+              simd && scalar_rate > 0
+                  ? ("  (" + std::to_string(rate / scalar_rate) + "x)").c_str()
+                  : "");
+        }
+      }
+    }
+  }
+}
+
+void run_kernel_sweep() {
+  bench::print_header(
+      "distance-kernel sweep: blocked scalar reference vs AVX2 dispatch "
+      "(bit-identical values; see core/distance_kernels.hpp)");
+  std::printf("simd compiled: %s   simd runtime: %s\n",
+              core::simd_kernels_compiled() ? "yes" : "no",
+              core::simd_runtime_supported() ? "yes" : "no");
+  bench::BenchReport report("bench_micro");
+  kernel_sweep_rows<float>(report);
+  kernel_sweep_rows<std::uint8_t>(report);
+  report.write("BENCH_micro.json");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_kernel_sweep();
+  return 0;
+}

@@ -17,15 +17,9 @@ using namespace dnnd;  // NOLINT
 
 namespace {
 
-struct ScalePoint {
-  int ranks;
-  double sim_units;
-  double wall_s;
-  std::size_t iterations;
-};
-
 template <typename T, typename Fn>
-void run_dataset(const char* name, const core::FeatureStore<T>& base, Fn fn) {
+void run_dataset(const char* name, const core::FeatureStore<T>& base, Fn fn,
+                 bench::BenchReport& report) {
   std::printf("\n-- %s (%zu points, dim %zu) --\n", name, base.size(),
               base.dim());
 
@@ -48,6 +42,13 @@ void run_dataset(const char* name, const core::FeatureStore<T>& base, Fn fn) {
                          static_cast<double>(base.dim());
     std::printf("  %-24s 1 node   sim-units %12.3e  wall %6.2fs\n", ref.label,
                 units, wall);
+    auto& row = report.add_row(std::string("hnsw/") + name + "/M" +
+                               std::to_string(ref.M));
+    row.params["dataset"] = name;
+    row.params["baseline"] = ref.label;
+    row.params["n"] = std::to_string(base.size());
+    row.metrics["sim_units"] = units;
+    row.metrics["wall_s"] = wall;
   }
 
   for (const std::size_t k : {10UL, 20UL, 30UL}) {
@@ -78,6 +79,18 @@ void run_dataset(const char* name, const core::FeatureStore<T>& base, Fn fn) {
       std::printf("    %6d %14.3e %10.2f %7zu %8.2fx\n", ranks,
                   total.simulated_parallel_units, wall, stats.iterations,
                   base_units / total.simulated_parallel_units);
+      auto& row = report.add_row(std::string("dnnd/") + name + "/k" +
+                                 std::to_string(k) + "/ranks" +
+                                 std::to_string(ranks));
+      row.params["dataset"] = name;
+      row.params["k"] = std::to_string(k);
+      row.params["ranks"] = std::to_string(ranks);
+      row.params["n"] = std::to_string(base.size());
+      row.metrics["sim_units"] = total.simulated_parallel_units;
+      row.metrics["wall_s"] = wall;
+      row.metrics["iterations"] = static_cast<double>(stats.iterations);
+      row.metrics["speedup_vs_smallest"] =
+          base_units / total.simulated_parallel_units;
     }
   }
 }
@@ -92,18 +105,20 @@ int main() {
   const double scale = bench::bench_scale();
   const auto n = static_cast<std::size_t>(6000.0 * scale);
 
+  bench::BenchReport report("bench_scaling");
   {
     const auto base =
         data::GaussianMixture(bench::billion_standin_spec(96, 107))
             .sample(n, 1);
-    run_dataset("Yandex DEEP 1B stand-in", base, bench::L2Fn{});
+    run_dataset("deep_standin", base, bench::L2Fn{}, report);
   }
   {
     const auto base =
         data::GaussianMixture(bench::billion_standin_spec(128, 108))
             .sample_u8(n, 1);
-    run_dataset("BigANN stand-in", base, bench::L2U8Fn{});
+    run_dataset("bigann_standin", base, bench::L2U8Fn{}, report);
   }
+  report.write("BENCH_scaling.json");
 
   std::printf(
       "\nReading guide: 'speedup' is relative to the smallest rank count in "

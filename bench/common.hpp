@@ -9,7 +9,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <map>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -17,32 +20,25 @@
 #include "baselines/hnsw.hpp"
 #include "comm/environment.hpp"
 #include "core/distance.hpp"
+#include "core/distance_kernels.hpp"
 #include "core/dnnd_runner.hpp"
 #include "core/knn_query.hpp"
 #include "core/nn_descent.hpp"
 #include "core/recall.hpp"
 #include "data/datasets.hpp"
 #include "data/synthetic.hpp"
+#include "util/json.hpp"
 #include "util/timer.hpp"
 
 namespace dnnd::bench {
 
-struct L2Fn {
-  float operator()(std::span<const float> a, std::span<const float> b) const {
-    return core::l2(a, b);
-  }
-};
-struct L2U8Fn {
-  float operator()(std::span<const std::uint8_t> a,
-                   std::span<const std::uint8_t> b) const {
-    return core::l2(a, b);
-  }
-};
-struct CosFn {
-  float operator()(std::span<const float> a, std::span<const float> b) const {
-    return core::cosine(a, b);
-  }
-};
+// The dense metrics are the kernel functors themselves, so every bench
+// (and the tests that reuse these aliases) exercises the batched,
+// runtime-dispatched code path; Jaccard is sparse and stays on the
+// element loop.
+using L2Fn = core::L2Kernel<float>;
+using L2U8Fn = core::L2Kernel<std::uint8_t>;
+using CosFn = core::CosineKernel<float>;
 struct JacFn {
   float operator()(std::span<const std::uint32_t> a,
                    std::span<const std::uint32_t> b) const {
@@ -82,6 +78,79 @@ inline void print_header(const std::string& title) {
 inline void print_rule() {
   std::printf("--------------------------------------------------------------------------\n");
 }
+
+/// Machine-readable bench output: every bench binary collects its result
+/// rows into a BenchReport and writes one `BENCH_<name>.json` with schema
+/// `dnnd.bench.v1` — committed snapshots of these files are how measured
+/// numbers enter the repo (EXPERIMENTS.md quotes them).
+///
+/// Schema:
+///   { "schema": "dnnd.bench.v1", "bench": "<binary>",
+///     "rows": [ { "name": "<row id>",
+///                 "params":  { "<k>": "<string>", ... },
+///                 "metrics": { "<k>": <number>, ... } }, ... ] }
+class BenchReport {
+ public:
+  struct Row {
+    std::string name;
+    std::map<std::string, std::string> params;
+    std::map<std::string, double> metrics;
+  };
+
+  explicit BenchReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  Row& add_row(std::string name) {
+    rows_.push_back(Row{std::move(name), {}, {}});
+    return rows_.back();
+  }
+
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
+
+  void write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) {
+      throw std::runtime_error("BenchReport: cannot open " + path);
+    }
+    os << "{\n  \"schema\": \"dnnd.bench.v1\",\n  \"bench\": ";
+    util::json::write_string(os, bench_name_);
+    os << ",\n  \"rows\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      os << (i == 0 ? "\n" : ",\n") << "    {\"name\": ";
+      util::json::write_string(os, row.name);
+      os << ", \"params\": {";
+      bool first = true;
+      for (const auto& [k, v] : row.params) {
+        os << (first ? "" : ", ");
+        first = false;
+        util::json::write_string(os, k);
+        os << ": ";
+        util::json::write_string(os, v);
+      }
+      os << "}, \"metrics\": {";
+      first = true;
+      for (const auto& [k, v] : row.metrics) {
+        os << (first ? "" : ", ");
+        first = false;
+        util::json::write_string(os, k);
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.17g", v);
+        os << ": " << buf;
+      }
+      os << "}}";
+    }
+    os << "\n  ]\n}\n";
+    if (!os.flush()) {
+      throw std::runtime_error("BenchReport: write failed for " + path);
+    }
+    std::printf("wrote %s (%zu rows)\n", path.c_str(), rows_.size());
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<Row> rows_;
+};
 
 /// Mean recall@k of a batch of SearchResults against brute-force truth.
 inline double recall_of(const std::vector<core::SearchResult>& results,

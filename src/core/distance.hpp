@@ -18,21 +18,33 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "core/distance_kernels.hpp"
 #include "core/types.hpp"
 
 namespace dnnd::core {
+
+// The dense arithmetic metrics (squared-L2 / cosine / inner product over
+// float or uint8 elements) route through core/distance_kernels.hpp: the
+// blocked 8-lane reduction there is the canonical definition of these
+// distances, identical bit-for-bit between the scalar reference and the
+// runtime-dispatched AVX2 variant. Other element types and the remaining
+// metrics keep the straightforward element loops below.
 
 /// Squared Euclidean distance. Monotone in L2, so k-NN ranking under it is
 /// identical while skipping the sqrt; construction uses this internally.
 template <typename T>
 [[nodiscard]] Dist squared_l2(std::span<const T> a, std::span<const T> b) {
-  Dist sum = 0;
-  const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const Dist d = static_cast<Dist>(a[i]) - static_cast<Dist>(b[i]);
-    sum += d * d;
+  if constexpr (kIsKernelElement<T>) {
+    return k_squared_l2(a.data(), b.data(), a.size());
+  } else {
+    Dist sum = 0;
+    const std::size_t n = a.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Dist d = static_cast<Dist>(a[i]) - static_cast<Dist>(b[i]);
+      sum += d * d;
+    }
+    return sum;
   }
-  return sum;
 }
 
 template <typename T>
@@ -44,17 +56,21 @@ template <typename T>
 /// maximally distant from everything (distance 1).
 template <typename T>
 [[nodiscard]] Dist cosine(std::span<const T> a, std::span<const T> b) {
-  Dist dot = 0, na = 0, nb = 0;
-  const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const Dist x = static_cast<Dist>(a[i]);
-    const Dist y = static_cast<Dist>(b[i]);
-    dot += x * y;
-    na += x * x;
-    nb += y * y;
+  if constexpr (kIsKernelElement<T>) {
+    return k_cosine(a.data(), b.data(), a.size());
+  } else {
+    Dist dot = 0, na = 0, nb = 0;
+    const std::size_t n = a.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Dist x = static_cast<Dist>(a[i]);
+      const Dist y = static_cast<Dist>(b[i]);
+      dot += x * y;
+      na += x * x;
+      nb += y * y;
+    }
+    if (na == 0 || nb == 0) return Dist{1};
+    return Dist{1} - dot / std::sqrt(na * nb);
   }
-  if (na == 0 || nb == 0) return Dist{1};
-  return Dist{1} - dot / std::sqrt(na * nb);
 }
 
 /// Inner-product "distance": -<a, b>, so that larger similarity sorts
@@ -62,12 +78,16 @@ template <typename T>
 template <typename T>
 [[nodiscard]] Dist neg_inner_product(std::span<const T> a,
                                      std::span<const T> b) {
-  Dist dot = 0;
-  const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    dot += static_cast<Dist>(a[i]) * static_cast<Dist>(b[i]);
+  if constexpr (kIsKernelElement<T>) {
+    return k_inner_product(a.data(), b.data(), a.size());
+  } else {
+    Dist dot = 0;
+    const std::size_t n = a.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      dot += static_cast<Dist>(a[i]) * static_cast<Dist>(b[i]);
+    }
+    return -dot;
   }
-  return -dot;
 }
 
 /// Jaccard distance over *sorted* sparse id sets: 1 - |a∩b| / |a∪b|.

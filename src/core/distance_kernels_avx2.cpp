@@ -1,0 +1,197 @@
+// AVX2 kernel variants. Compiled with -mavx2 and -ffp-contract=off (the
+// latter matters: GCC will otherwise fuse a _mm256_mul_ps feeding a
+// _mm256_add_ps into an FMA when -mfma is in effect, which changes
+// rounding and breaks bit-parity with the scalar reference).
+//
+// Every kernel realizes the canonical reduction from
+// distance_kernels.hpp literally:
+//   * lane l of the 8-float accumulator holds elements i ≡ l (mod 8);
+//   * the tail block is loaded with a mask (floats) or through a
+//     zero-filled stack buffer (uint8), so missing lanes contribute an
+//     exact +0.0 — identical to the scalar tail and to zero-padded rows;
+//   * the horizontal reduction is extract-high+add, movehl+add,
+//     shuffle+add, i.e. ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)).
+#include "core/distance_kernels.hpp"
+
+#if DNND_SIMD_ENABLED
+#if !defined(__AVX2__)
+#error "distance_kernels_avx2.cpp must be compiled with -mavx2"
+#endif
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace dnnd::core::detail {
+
+namespace {
+
+constexpr std::size_t kLanes = 8;
+
+/// ((l0+l4)+(l2+l6)) + ((l1+l5)+(l3+l7)) — the scalar reduce_lanes tree.
+inline float reduce256(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  const __m128 s = _mm_add_ps(lo, hi);    // [l0+l4, l1+l5, l2+l6, l3+l7]
+  const __m128 t = _mm_add_ps(s, _mm_movehl_ps(s, s));  // [s0+s2, s1+s3, ..]
+  return _mm_cvtss_f32(
+      _mm_add_ss(t, _mm_shuffle_ps(t, t, 0x55)));       // t0 + t1
+}
+
+/// Mask whose first `rem` (1..7) lanes are set; maskload zeroes the rest.
+inline __m256i tail_mask(std::size_t rem) {
+  alignas(32) static constexpr std::int32_t kMaskTable[16] = {
+      -1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0};
+  return _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kMaskTable + kLanes - rem));
+}
+
+/// Loads 8 uint8 elements widened to float lanes.
+inline __m256 load_u8_block(const std::uint8_t* p) {
+  const __m128i bytes =
+      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+  return _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+}
+
+/// Loads the final `rem` (1..7) uint8 elements, zero in missing lanes.
+inline __m256 load_u8_tail(const std::uint8_t* p, std::size_t rem) {
+  std::uint8_t buf[kLanes] = {};
+  std::memcpy(buf, p, rem);
+  return load_u8_block(buf);
+}
+
+struct SquaredL2Op {
+  __m256 acc = _mm256_setzero_ps();
+  inline void step(__m256 x, __m256 y) {
+    const __m256 d = _mm256_sub_ps(x, y);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+  }
+  inline Dist finish() const { return reduce256(acc); }
+};
+
+struct CosineOp {
+  __m256 dot = _mm256_setzero_ps();
+  __m256 na = _mm256_setzero_ps();
+  __m256 nb = _mm256_setzero_ps();
+  inline void step(__m256 x, __m256 y) {
+    dot = _mm256_add_ps(dot, _mm256_mul_ps(x, y));
+    na = _mm256_add_ps(na, _mm256_mul_ps(x, x));
+    nb = _mm256_add_ps(nb, _mm256_mul_ps(y, y));
+  }
+  inline Dist finish() const {
+    const Dist d = reduce256(dot);
+    const Dist sa = reduce256(na);
+    const Dist sb = reduce256(nb);
+    if (sa == 0 || sb == 0) return Dist{1};
+    return Dist{1} - d / std::sqrt(sa * sb);
+  }
+};
+
+struct InnerProductOp {
+  __m256 acc = _mm256_setzero_ps();
+  inline void step(__m256 x, __m256 y) {
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(x, y));
+  }
+  inline Dist finish() const { return -reduce256(acc); }
+};
+
+template <typename Op>
+inline Dist run_f32(const float* a, const float* b, std::size_t dim) {
+  Op op;
+  const std::size_t full = dim & ~(kLanes - 1);
+  for (std::size_t i = 0; i < full; i += kLanes) {
+    op.step(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+  }
+  if (const std::size_t rem = dim - full; rem != 0) {
+    const __m256i mask = tail_mask(rem);
+    op.step(_mm256_maskload_ps(a + full, mask),
+            _mm256_maskload_ps(b + full, mask));
+  }
+  return op.finish();
+}
+
+template <typename Op>
+inline Dist run_u8(const std::uint8_t* a, const std::uint8_t* b,
+                   std::size_t dim) {
+  Op op;
+  const std::size_t full = dim & ~(kLanes - 1);
+  for (std::size_t i = 0; i < full; i += kLanes) {
+    op.step(load_u8_block(a + i), load_u8_block(b + i));
+  }
+  if (const std::size_t rem = dim - full; rem != 0) {
+    op.step(load_u8_tail(a + full, rem), load_u8_tail(b + full, rem));
+  }
+  return op.finish();
+}
+
+}  // namespace
+
+Dist avx2_squared_l2_f32(const float* a, const float* b, std::size_t dim) {
+  return run_f32<SquaredL2Op>(a, b, dim);
+}
+Dist avx2_cosine_f32(const float* a, const float* b, std::size_t dim) {
+  return run_f32<CosineOp>(a, b, dim);
+}
+Dist avx2_inner_product_f32(const float* a, const float* b,
+                            std::size_t dim) {
+  return run_f32<InnerProductOp>(a, b, dim);
+}
+Dist avx2_squared_l2_u8(const std::uint8_t* a, const std::uint8_t* b,
+                        std::size_t dim) {
+  return run_u8<SquaredL2Op>(a, b, dim);
+}
+Dist avx2_cosine_u8(const std::uint8_t* a, const std::uint8_t* b,
+                    std::size_t dim) {
+  return run_u8<CosineOp>(a, b, dim);
+}
+Dist avx2_inner_product_u8(const std::uint8_t* a, const std::uint8_t* b,
+                           std::size_t dim) {
+  return run_u8<InnerProductOp>(a, b, dim);
+}
+
+void avx2_batch_squared_l2_f32(const float* q, const float* const* rows,
+                               std::size_t count, std::size_t dim,
+                               Dist* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = run_f32<SquaredL2Op>(q, rows[i], dim);
+  }
+}
+void avx2_batch_cosine_f32(const float* q, const float* const* rows,
+                           std::size_t count, std::size_t dim, Dist* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = run_f32<CosineOp>(q, rows[i], dim);
+  }
+}
+void avx2_batch_inner_product_f32(const float* q, const float* const* rows,
+                                  std::size_t count, std::size_t dim,
+                                  Dist* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = run_f32<InnerProductOp>(q, rows[i], dim);
+  }
+}
+void avx2_batch_squared_l2_u8(const std::uint8_t* q,
+                              const std::uint8_t* const* rows,
+                              std::size_t count, std::size_t dim, Dist* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = run_u8<SquaredL2Op>(q, rows[i], dim);
+  }
+}
+void avx2_batch_cosine_u8(const std::uint8_t* q,
+                          const std::uint8_t* const* rows, std::size_t count,
+                          std::size_t dim, Dist* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = run_u8<CosineOp>(q, rows[i], dim);
+  }
+}
+void avx2_batch_inner_product_u8(const std::uint8_t* q,
+                                 const std::uint8_t* const* rows,
+                                 std::size_t count, std::size_t dim,
+                                 Dist* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = run_u8<InnerProductOp>(q, rows[i], dim);
+  }
+}
+
+}  // namespace dnnd::core::detail
+
+#endif  // DNND_SIMD_ENABLED

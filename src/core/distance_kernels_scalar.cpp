@@ -1,0 +1,242 @@
+// Scalar reference kernels + runtime dispatch state.
+//
+// This translation unit is compiled with -ffp-contract=off (no FMA
+// fusion) and -fno-tree-vectorize / -fno-tree-slp-vectorize, so what you
+// read is what executes: a plain-scalar rendering of the canonical 8-lane
+// blocked reduction documented in distance_kernels.hpp. The AVX2 variant
+// must match it bit-for-bit; the parity test suite holds both to that.
+#include "core/distance_kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace dnnd::core {
+
+namespace {
+
+constexpr std::size_t kLanes = 8;
+
+/// The fixed lane-combining tree shared with the AVX2 horizontal
+/// reduction: extract-high+add, movehl+add, shuffle+add.
+inline Dist reduce_lanes(const Dist acc[kLanes]) {
+  const Dist s0 = acc[0] + acc[4];
+  const Dist s1 = acc[1] + acc[5];
+  const Dist s2 = acc[2] + acc[6];
+  const Dist s3 = acc[3] + acc[7];
+  return (s0 + s2) + (s1 + s3);
+}
+
+template <typename T>
+inline void lanes_squared_l2(const T* a, const T* b, std::size_t dim,
+                             Dist acc[kLanes]) {
+  const std::size_t full = dim & ~(kLanes - 1);
+  for (std::size_t i = 0; i < full; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const Dist d =
+          static_cast<Dist>(a[i + l]) - static_cast<Dist>(b[i + l]);
+      acc[l] += d * d;
+    }
+  }
+  // Tail elements land in lanes 0..rem-1, exactly like a zero-padded
+  // final block (a zero lane adds an exact +0.0).
+  for (std::size_t i = full; i < dim; ++i) {
+    const Dist d = static_cast<Dist>(a[i]) - static_cast<Dist>(b[i]);
+    acc[i - full] += d * d;
+  }
+}
+
+template <typename T>
+inline Dist squared_l2_impl(const T* a, const T* b, std::size_t dim) {
+  Dist acc[kLanes] = {};
+  lanes_squared_l2(a, b, dim, acc);
+  return reduce_lanes(acc);
+}
+
+template <typename T>
+inline Dist cosine_impl(const T* a, const T* b, std::size_t dim) {
+  Dist dot[kLanes] = {}, na[kLanes] = {}, nb[kLanes] = {};
+  const std::size_t full = dim & ~(kLanes - 1);
+  for (std::size_t i = 0; i < full; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const Dist x = static_cast<Dist>(a[i + l]);
+      const Dist y = static_cast<Dist>(b[i + l]);
+      dot[l] += x * y;
+      na[l] += x * x;
+      nb[l] += y * y;
+    }
+  }
+  for (std::size_t i = full; i < dim; ++i) {
+    const Dist x = static_cast<Dist>(a[i]);
+    const Dist y = static_cast<Dist>(b[i]);
+    dot[i - full] += x * y;
+    na[i - full] += x * x;
+    nb[i - full] += y * y;
+  }
+  const Dist d = reduce_lanes(dot);
+  const Dist sa = reduce_lanes(na);
+  const Dist sb = reduce_lanes(nb);
+  if (sa == 0 || sb == 0) return Dist{1};
+  return Dist{1} - d / std::sqrt(sa * sb);
+}
+
+template <typename T>
+inline Dist inner_product_impl(const T* a, const T* b, std::size_t dim) {
+  Dist acc[kLanes] = {};
+  const std::size_t full = dim & ~(kLanes - 1);
+  for (std::size_t i = 0; i < full; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      acc[l] += static_cast<Dist>(a[i + l]) * static_cast<Dist>(b[i + l]);
+    }
+  }
+  for (std::size_t i = full; i < dim; ++i) {
+    acc[i - full] += static_cast<Dist>(a[i]) * static_cast<Dist>(b[i]);
+  }
+  return -reduce_lanes(acc);
+}
+
+}  // namespace
+
+namespace detail {
+
+Dist scalar_squared_l2_f32(const float* a, const float* b, std::size_t dim) {
+  return squared_l2_impl(a, b, dim);
+}
+Dist scalar_cosine_f32(const float* a, const float* b, std::size_t dim) {
+  return cosine_impl(a, b, dim);
+}
+Dist scalar_inner_product_f32(const float* a, const float* b,
+                              std::size_t dim) {
+  return inner_product_impl(a, b, dim);
+}
+Dist scalar_squared_l2_u8(const std::uint8_t* a, const std::uint8_t* b,
+                          std::size_t dim) {
+  return squared_l2_impl(a, b, dim);
+}
+Dist scalar_cosine_u8(const std::uint8_t* a, const std::uint8_t* b,
+                      std::size_t dim) {
+  return cosine_impl(a, b, dim);
+}
+Dist scalar_inner_product_u8(const std::uint8_t* a, const std::uint8_t* b,
+                             std::size_t dim) {
+  return inner_product_impl(a, b, dim);
+}
+
+void scalar_batch_squared_l2_f32(const float* q, const float* const* rows,
+                                 std::size_t count, std::size_t dim,
+                                 Dist* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = squared_l2_impl(q, rows[i], dim);
+  }
+}
+void scalar_batch_cosine_f32(const float* q, const float* const* rows,
+                             std::size_t count, std::size_t dim, Dist* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = cosine_impl(q, rows[i], dim);
+  }
+}
+void scalar_batch_inner_product_f32(const float* q, const float* const* rows,
+                                    std::size_t count, std::size_t dim,
+                                    Dist* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = inner_product_impl(q, rows[i], dim);
+  }
+}
+void scalar_batch_squared_l2_u8(const std::uint8_t* q,
+                                const std::uint8_t* const* rows,
+                                std::size_t count, std::size_t dim,
+                                Dist* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = squared_l2_impl(q, rows[i], dim);
+  }
+}
+void scalar_batch_cosine_u8(const std::uint8_t* q,
+                            const std::uint8_t* const* rows,
+                            std::size_t count, std::size_t dim, Dist* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = cosine_impl(q, rows[i], dim);
+  }
+}
+void scalar_batch_inner_product_u8(const std::uint8_t* q,
+                                   const std::uint8_t* const* rows,
+                                   std::size_t count, std::size_t dim,
+                                   Dist* out) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] = inner_product_impl(q, rows[i], dim);
+  }
+}
+
+}  // namespace detail
+
+// ---- dispatch state ------------------------------------------------------
+
+namespace {
+
+/// -1 = unresolved, 0 = scalar, 1 = simd. Relaxed is enough: resolution
+/// is idempotent and any racing first calls compute the same value.
+std::atomic<int> g_resolved{-1};
+std::atomic<KernelDispatch> g_mode{KernelDispatch::kAuto};
+
+bool force_scalar_env() {
+  const char* env = std::getenv("DNND_FORCE_SCALAR");
+  if (env == nullptr) return false;
+  const std::string v(env);
+  return !v.empty() && v != "0";
+}
+
+int resolve_dispatch() {
+  switch (g_mode.load(std::memory_order_relaxed)) {
+    case KernelDispatch::kForceScalar: return 0;
+    case KernelDispatch::kForceSimd:
+      if (!simd_kernels_compiled()) {
+        throw std::runtime_error(
+            "kernel dispatch: kForceSimd but the AVX2 variant was not "
+            "compiled (-DDNND_SIMD=OFF or compiler without -mavx2)");
+      }
+      if (!simd_runtime_supported()) {
+        throw std::runtime_error(
+            "kernel dispatch: kForceSimd but this CPU lacks AVX2");
+      }
+      return 1;
+    case KernelDispatch::kAuto: break;
+  }
+  if (!simd_kernels_compiled() || !simd_runtime_supported()) return 0;
+  return force_scalar_env() ? 0 : 1;
+}
+
+}  // namespace
+
+bool simd_kernels_compiled() noexcept { return DNND_SIMD_ENABLED != 0; }
+
+bool simd_runtime_supported() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+void set_kernel_dispatch(KernelDispatch mode) noexcept {
+  g_mode.store(mode, std::memory_order_relaxed);
+  g_resolved.store(-1, std::memory_order_relaxed);
+}
+
+KernelDispatch kernel_dispatch() noexcept {
+  return g_mode.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+bool simd_active() {
+  int v = g_resolved.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = resolve_dispatch();
+    g_resolved.store(v, std::memory_order_relaxed);
+  }
+  return v == 1;
+}
+
+}  // namespace detail
+
+}  // namespace dnnd::core

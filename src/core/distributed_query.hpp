@@ -36,6 +36,7 @@
 
 #include "comm/communicator.hpp"
 #include "comm/environment.hpp"
+#include "core/distance_kernels.hpp"
 #include "core/dnnd_runner.hpp"
 #include "core/knn_query.hpp"
 #include "core/partition.hpp"
@@ -245,9 +246,27 @@ class QueryEngineRank {
           const auto ids = ar.read_vector<VertexId>();
           std::vector<std::pair<VertexId, Dist>> pairs;
           pairs.reserve(ids.size());
-          for (const VertexId w : ids) {
-            pairs.emplace_back(
-                w, distance_(std::span<const T>(scratch_), (*points_)[w]));
+          if constexpr (BatchDistance<DistanceFn, T>) {
+            // The eval_batch message is already a one-query-vs-many
+            // evaluation — feed it straight into the batched kernel.
+            if (!ids.empty()) {
+              std::vector<const T*> rows;
+              rows.reserve(ids.size());
+              for (const VertexId w : ids) {
+                rows.push_back((*points_)[w].data());
+              }
+              std::vector<Dist> dists(ids.size());
+              distance_.batch(scratch_.data(), rows.data(), ids.size(),
+                              scratch_.size(), dists.data());
+              for (std::size_t i = 0; i < ids.size(); ++i) {
+                pairs.emplace_back(ids[i], dists[i]);
+              }
+            }
+          } else {
+            for (const VertexId w : ids) {
+              pairs.emplace_back(
+                  w, distance_(std::span<const T>(scratch_), (*points_)[w]));
+            }
           }
           comm_->telemetry().add(c_distance_evals_, ids.size());
           send_eval_reply(static_cast<int>(coordinator), qid, pairs);

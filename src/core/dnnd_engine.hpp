@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "core/distance_kernels.hpp"
 #include "core/dnnd_config.hpp"
 #include "core/feature_store.hpp"
 #include "core/knn_graph.hpp"
@@ -506,7 +507,18 @@ class DnndEngine {
   Dist eval(std::span<const T> a, std::span<const T> b) {
     ++distance_evals_;
     comm_->telemetry().add(c_distance_evals_);
-    return distance_(a, b);
+    if constexpr (BatchDistance<DistanceFn, T>) {
+      // Check requests arrive one candidate per message, so the engine
+      // evaluates batches of one — but going through the batch entry
+      // point keeps it on the same kernel (same dispatch, same reduction
+      // order) as the bulk callers.
+      Dist d;
+      const T* row = b.data();
+      distance_.batch(a.data(), &row, 1, a.size(), &d);
+      return d;
+    } else {
+      return distance_(a, b);
+    }
   }
 
   void register_handlers() {

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/distance_kernels.hpp"
 #include "core/feature_store.hpp"
 #include "core/knn_graph.hpp"
 #include "core/neighbor_list.hpp"
@@ -128,17 +129,61 @@ class NnDescent {
       merge_sample(new_ids[vi], rev_new[vi], sample_k, rng);
     }
 
-    // Lines 17–22: neighbor checks.
+    // Lines 17–22: neighbor checks. With a batch-capable distance functor
+    // the candidates of one center u1 are gathered (filtered against the
+    // pre-row list state) and evaluated through the one-query-vs-many
+    // kernel; updates are then applied in the original pair order, so the
+    // result is a pure function of the values — identical across the
+    // scalar and SIMD dispatch paths.
     std::uint64_t c = 0;
-    for (std::size_t vi = 0; vi < n; ++vi) {
-      const auto& nu = new_ids[vi];
-      const auto& ol = old_ids[vi];
-      for (std::size_t i = 0; i < nu.size(); ++i) {
-        for (std::size_t j = i + 1; j < nu.size(); ++j) {
-          c += check(nu[i], nu[j]);
+    if constexpr (BatchDistance<DistanceFn, T>) {
+      std::vector<VertexId> cand;
+      std::vector<const T*> rows;
+      std::vector<Dist> dists;
+      for (std::size_t vi = 0; vi < n; ++vi) {
+        const auto& nu = new_ids[vi];
+        const auto& ol = old_ids[vi];
+        for (std::size_t i = 0; i < nu.size(); ++i) {
+          const VertexId u1 = nu[i];
+          cand.clear();
+          rows.clear();
+          auto consider = [&](VertexId u2) {
+            if (u1 == u2) return;
+            // The both-sides-known skip from check(): purely a work saver —
+            // update() no-ops on contained ids, so evaluating a pair that
+            // becomes redundant mid-batch cannot change the graph.
+            if (lists_[u1].contains(u2) && lists_[u2].contains(u1)) return;
+            cand.push_back(u2);
+            rows.push_back((*points_)[u2].data());
+          };
+          for (std::size_t j = i + 1; j < nu.size(); ++j) consider(nu[j]);
+          for (const VertexId u2 : ol) consider(u2);
+          if (cand.empty()) continue;
+          dists.resize(cand.size());
+          const auto q = (*points_)[u1];
+          stats_.distance_evals += cand.size();
+          distance_.batch(q.data(), rows.data(), cand.size(), q.size(),
+                          dists.data());
+          for (std::size_t m = 0; m < cand.size(); ++m) {
+            const VertexId u2 = cand[m];
+            c += static_cast<std::uint64_t>(
+                lists_[u1].update(u2, dists[m], true));
+            c += static_cast<std::uint64_t>(
+                lists_[u2].update(u1, dists[m], true));
+          }
         }
-        for (const VertexId u2 : ol) {
-          c += check(nu[i], u2);
+      }
+    } else {
+      for (std::size_t vi = 0; vi < n; ++vi) {
+        const auto& nu = new_ids[vi];
+        const auto& ol = old_ids[vi];
+        for (std::size_t i = 0; i < nu.size(); ++i) {
+          for (std::size_t j = i + 1; j < nu.size(); ++j) {
+            c += check(nu[i], nu[j]);
+          }
+          for (const VertexId u2 : ol) {
+            c += check(nu[i], u2);
+          }
         }
       }
     }

@@ -34,6 +34,7 @@
 #include "baselines/brute_force.hpp"
 #include "comm/environment.hpp"
 #include "core/distance.hpp"
+#include "core/distance_kernels.hpp"
 #include "core/dnnd_runner.hpp"
 #include "core/recall.hpp"
 #include "data/synthetic.hpp"
@@ -322,6 +323,27 @@ TEST_P(ChaosBuild, ReachesQuiescenceWithBitIdenticalGraph) {
 
 INSTANTIATE_TEST_SUITE_P(Matrix, ChaosBuild, ::testing::ValuesIn(make_cases()),
                          case_name);
+
+// Dispatch cross-check: the kernel determinism contract
+// (core/distance_kernels.hpp) says forcing the scalar reference cannot
+// change a single distance bit, so a faulty build under forced-scalar
+// dispatch must still be bit-identical to the fault-free reference built
+// under the default dispatch (AVX2 where the host supports it).
+TEST(Chaos, LightMixUnderForcedScalarMatchesDefaultDispatchReference) {
+  const std::uint64_t engine_seed = 11;
+  // Computed (and cached) BEFORE the override, under default dispatch.
+  const BuildResult& ref = reference(engine_seed);
+
+  FaultPlan plan = chaos_plans()[1].plan;  // light_mix
+  plan.seed = mix_seed(engine_seed, 1);
+  core::ScopedKernelDispatch scalar_only(core::KernelDispatch::kForceScalar);
+  const BuildResult scalar =
+      run_build(engine_seed, std::move(plan), DriverKind::kSequential);
+  EXPECT_TRUE(scalar.graph == ref.graph)
+      << "forced-scalar chaos build diverged from the default-dispatch "
+         "fault-free reference";
+  EXPECT_DOUBLE_EQ(scalar.recall, ref.recall);
+}
 
 // The sequential chaos schedule itself is deterministic: same seeds, same
 // injector event counts, datagram for datagram.

@@ -40,6 +40,7 @@
 #include "comm/environment.hpp"
 #include "core/checkpoint_store.hpp"
 #include "core/distance.hpp"
+#include "core/distance_kernels.hpp"
 #include "core/dnnd_checkpoint.hpp"
 #include "core/dnnd_runner.hpp"
 #include "core/recall.hpp"
@@ -299,6 +300,34 @@ TEST_P(KillAndResume, ResumedGraphIsBitIdentical) {
 
 INSTANTIATE_TEST_SUITE_P(Matrix, KillAndResume,
                          ::testing::ValuesIn(make_cases()), case_name);
+
+// Dispatch cross-check: a kill-and-resume run under forced-scalar kernel
+// dispatch must produce the same bits as the fault-free reference built
+// under the default dispatch (AVX2 where available) — the checkpoint cut
+// and the resumed iterations consume only canonical distance values
+// (core/distance_kernels.hpp determinism contract).
+TEST(Recovery, KillAndResumeUnderForcedScalarMatchesDefaultDispatch) {
+  const std::uint64_t engine_seed = 21;
+  // Computed (and cached) BEFORE the override, under default dispatch.
+  const BuildResult& ref = reference(engine_seed);
+
+  const KillPlan plan = kill_plans()[1];  // kill_r0_mid
+  core::ScopedKernelDispatch scalar_only(core::KernelDispatch::kForceScalar);
+  CheckpointStore store(fresh_ckpt_dir("forced_scalar_kill_r0_mid"));
+  const DnndConfig cfg = chaos_config(engine_seed);
+  auto result = core::run_build_with_recovery<float, L2Fn>(
+      store, make_env_factory(plan),
+      [&](Environment& env) {
+        return std::make_unique<DnndRunner<float, L2Fn>>(env, cfg, L2Fn{});
+      },
+      [&](DnndRunner<float, L2Fn>& runner) { runner.distribute(dataset()); },
+      recovery_options(plan));
+
+  EXPECT_EQ(result.report.failures_detected, plan.crashes.size());
+  EXPECT_TRUE(result.runner->gather() == ref.graph)
+      << "forced-scalar resumed graph diverged from the default-dispatch "
+         "fault-free reference";
+}
 
 // A crash before the first checkpoint degrades to a deterministic full
 // restart — still structured, still bit-identical, resumed_from empty.

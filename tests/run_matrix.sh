@@ -6,6 +6,12 @@
 #   telemetry-off  DNND_TELEMETRY=OFF (instrumentation compiled to no-ops;
 #                  proves the facade keeps the same API surface and that
 #                  no test silently depends on telemetry being recorded)
+#   simd-off       DNND_SIMD=OFF (the AVX2 distance-kernel TU is not even
+#                  compiled; the blocked scalar reference carries every
+#                  build. The kernel determinism contract says this flavour
+#                  produces bit-identical graphs AND identical metrics
+#                  counters, so the same committed metrics baseline must
+#                  gate it unchanged)
 #
 # Usage:
 #   tests/run_matrix.sh            # whole matrix
@@ -20,6 +26,7 @@ cd "$(dirname "$0")/.."
 declare -A configs=(
   [default]="-DDNND_TELEMETRY=ON"
   [telemetry-off]="-DDNND_TELEMETRY=OFF"
+  [simd-off]="-DDNND_SIMD=OFF"
 )
 
 selected=("${!configs[@]}")
