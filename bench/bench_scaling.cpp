@@ -11,6 +11,9 @@
 // (distance evals weighted by dimension + bytes sent), summed over the
 // run — the quantity that the paper's wall time measures on real
 // hardware. Wall time and total distance evals are reported alongside.
+#include <algorithm>
+#include <bit>
+
 #include "common.hpp"
 
 using namespace dnnd;  // NOLINT
@@ -95,6 +98,79 @@ void run_dataset(const char* name, const core::FeatureStore<T>& base, Fn fn,
   }
 }
 
+/// FNV-1a over every row's (id, distance-bits): cheap bit-identity probe.
+std::uint64_t graph_fingerprint(const core::KnnGraph& graph) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  for (core::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (const core::Neighbor& n : graph.neighbors(v)) {
+      mix(n.id);
+      mix(std::bit_cast<std::uint32_t>(n.distance));
+    }
+  }
+  return h;
+}
+
+/// Intra-rank thread sweep (the tentpole's headline): one NN-Descent
+/// build per pool size, same seed. The host is single-core, so the
+/// scaling metric is the deterministic per-thread work ledger: eval
+/// tasks are charged round-robin to virtual threads in task order, and
+/// `sim-thread-units` is the busiest thread's charge (the parallel
+/// makespan analogue, same convention as sim-units above). The builds
+/// are bit-identical by construction — the fingerprint column proves it.
+template <typename T, typename Fn>
+void run_thread_sweep(const char* name, const core::FeatureStore<T>& base,
+                      Fn fn, bench::BenchReport& report) {
+  std::printf("\n-- %s: intra-rank thread sweep (k=10) --\n", name);
+  std::printf("    %8s %16s %14s %10s %9s  %s\n", "threads",
+              "sim-thread-units", "ledger-evals", "wall[s]", "speedup",
+              "graph");
+  double base_units = 0;
+  std::uint64_t base_print = 0;
+  for (const std::size_t threads : {1UL, 2UL, 4UL, 8UL}) {
+    core::NnDescentConfig cfg;
+    cfg.k = 10;
+    cfg.seed = 12;
+    cfg.threads = threads;
+    core::NnDescentStats stats;
+    util::Timer timer;
+    const auto graph = core::build_nn_descent(base, fn, cfg, &stats);
+    const double wall = timer.elapsed_s();
+
+    std::uint64_t busiest = 0, ledger = 0;
+    for (const std::uint64_t w : stats.thread_work) {
+      busiest = std::max(busiest, w);
+      ledger += w;
+    }
+    const double units =
+        static_cast<double>(busiest) * static_cast<double>(base.dim());
+    const std::uint64_t print = graph_fingerprint(graph);
+    if (base_units == 0) {
+      base_units = units;
+      base_print = print;
+    }
+    const bool identical = print == base_print;
+    std::printf("    %8zu %16.3e %14llu %10.2f %8.2fx  %s\n", threads, units,
+                static_cast<unsigned long long>(ledger), wall,
+                base_units / units, identical ? "bit-identical" : "DIVERGED");
+    auto& row = report.add_row(std::string("dnnd_threads/") + name +
+                               "/k10/threads" + std::to_string(threads));
+    row.params["dataset"] = name;
+    row.params["k"] = "10";
+    row.params["threads"] = std::to_string(threads);
+    row.params["n"] = std::to_string(base.size());
+    row.params["graph_matches_1thread"] = identical ? "true" : "false";
+    row.metrics["sim_thread_units"] = units;
+    row.metrics["ledger_distance_evals"] = static_cast<double>(ledger);
+    row.metrics["pool_tasks"] = static_cast<double>(stats.tasks);
+    row.metrics["wall_s"] = wall;
+    row.metrics["speedup_vs_1thread"] = base_units / units;
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -111,12 +187,14 @@ int main() {
         data::GaussianMixture(bench::billion_standin_spec(96, 107))
             .sample(n, 1);
     run_dataset("deep_standin", base, bench::L2Fn{}, report);
+    run_thread_sweep("deep_standin", base, bench::L2Fn{}, report);
   }
   {
     const auto base =
         data::GaussianMixture(bench::billion_standin_spec(128, 108))
             .sample_u8(n, 1);
     run_dataset("bigann_standin", base, bench::L2U8Fn{}, report);
+    run_thread_sweep("bigann_standin", base, bench::L2U8Fn{}, report);
   }
   report.write("BENCH_scaling.json");
 

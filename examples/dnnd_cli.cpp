@@ -76,7 +76,7 @@ int usage(const char* argv0) {
                "usage: %s gen   <dataset> <prefix> [n] [nq]\n"
                "       %s build <base-file> <datastore> [k] [ranks]\n"
                "               [--checkpoint-every N] [--checkpoint-dir D] "
-               "[--resume]\n"
+               "[--resume] [--threads N]\n"
                "       %s query <datastore> <query-file> [gt.ivecs] [eps]\n"
                "       %s info  <datastore>\n"
                "       %s stats <run-prefix> [--straggler-factor F]\n"
@@ -90,10 +90,13 @@ int usage(const char* argv0) {
 /// CRC-validated checkpoint generation every N NN-Descent iterations
 /// (default dir: <datastore>.ckpt); --resume continues an interrupted
 /// build from the newest valid generation instead of starting over.
+/// --threads N runs each simulated rank's hot loops on an N-thread pool
+/// (bit-identical output for any N; 0 = auto via DNND_THREADS_PER_RANK).
 struct BuildOptions {
   std::size_t checkpoint_every = 0;
   std::string checkpoint_dir;
   bool resume = false;
+  std::size_t threads = 0;
 };
 
 int cmd_gen(int argc, char** argv) {
@@ -153,6 +156,7 @@ int build_typed(const core::FeatureStore<T>& base, const std::string& store,
   env_cfg.trace_sample_period = trace_period;
   core::DnndConfig cfg;
   cfg.k = k;
+  cfg.threads_per_rank = opts.threads;
 
   std::unique_ptr<comm::Environment> env;
   std::unique_ptr<core::DnndRunner<T, Fn>> runner;
@@ -250,6 +254,8 @@ int cmd_build(int argc, char** argv) {
       opts.checkpoint_dir = argv[++i];
     } else if (arg == "--resume") {
       opts.resume = true;
+    } else if (arg == "--threads" && i + 1 < argc) {
+      opts.threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "build: unknown flag %s\n", arg.c_str());
       return 2;

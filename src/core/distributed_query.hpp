@@ -41,6 +41,7 @@
 #include "core/knn_query.hpp"
 #include "core/partition.hpp"
 #include "core/neighbor_list.hpp"
+#include "core/thread_pool.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
 
@@ -53,16 +54,22 @@ template <typename T, typename DistanceFn>
 class QueryEngineRank {
  public:
   QueryEngineRank(comm::Communicator& comm, DistanceFn distance,
-                  Partition partition)
+                  Partition partition, std::size_t threads = 1)
       : comm_(&comm),
         distance_(std::move(distance)),
         partition_(std::move(partition)),
         rng_(util::Xoshiro256(0x9e3779b9) .fork(
-            static_cast<std::uint64_t>(comm.rank()))) {
+            static_cast<std::uint64_t>(comm.rank()))),
+        pool_(threads == 0 ? 1 : threads) {
     c_submitted_ = comm_->telemetry().counter("query.submitted");
     c_completed_ = comm_->telemetry().counter("query.completed");
     c_frontier_pops_ = comm_->telemetry().counter("query.frontier_pops");
     c_distance_evals_ = comm_->telemetry().counter("query.distance_evals");
+    // Pool tasks from handler-side batch evals: fixed decomposition, so
+    // bit-identical across thread counts (schedule-shape counter,
+    // excluded from the metrics-regression diff like engine.tasks).
+    c_tasks_ = comm_->telemetry().counter("query.tasks");
+    pool_.set_telemetry(&comm_->telemetry(), c_tasks_);
     h_evals_per_query_ =
         comm_->telemetry().histogram("query.distance_evals_per_query");
     register_handlers();
@@ -248,7 +255,12 @@ class QueryEngineRank {
           pairs.reserve(ids.size());
           if constexpr (BatchDistance<DistanceFn, T>) {
             // The eval_batch message is already a one-query-vs-many
-            // evaluation — feed it straight into the batched kernel.
+            // evaluation — feed it straight into the batched kernel,
+            // split across the rank's pool in kEvalGrain blocks. Each
+            // task writes its private dists[begin, end) slot and the
+            // kernel contract makes out[i] a function of (q, rows[i])
+            // alone, so the reply bytes are bit-identical for any
+            // thread count (small rows stay a single inline task).
             if (!ids.empty()) {
               std::vector<const T*> rows;
               rows.reserve(ids.size());
@@ -256,8 +268,14 @@ class QueryEngineRank {
                 rows.push_back((*points_)[w].data());
               }
               std::vector<Dist> dists(ids.size());
-              distance_.batch(scratch_.data(), rows.data(), ids.size(),
-                              scratch_.size(), dists.data());
+              pool_.for_blocks(
+                  ids.size(), kEvalGrain,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    distance_.batch(scratch_.data(), rows.data() + begin,
+                                    end - begin, scratch_.size(),
+                                    dists.data() + begin);
+                  },
+                  "query_eval");
               for (std::size_t i = 0; i < ids.size(); ++i) {
                 pairs.emplace_back(ids[i], dists[i]);
               }
@@ -298,10 +316,15 @@ class QueryEngineRank {
     comm_->async(coordinator, h_eval_reply_, qid, ids, dists);
   }
 
+  /// Grain for handler-side batched-eval tasks (fixed: the task count
+  /// must not depend on the thread count).
+  static constexpr std::size_t kEvalGrain = 16;
+
   comm::Communicator* comm_;
   DistanceFn distance_;
   Partition partition_;
   util::Xoshiro256 rng_;
+  ThreadPool pool_;
 
   std::unordered_map<VertexId, std::vector<Neighbor>> rows_;
   const FeatureStore<T>* points_ = nullptr;
@@ -318,6 +341,7 @@ class QueryEngineRank {
 
   telemetry::MetricId c_submitted_ = 0, c_completed_ = 0;
   telemetry::MetricId c_frontier_pops_ = 0, c_distance_evals_ = 0;
+  telemetry::MetricId c_tasks_ = 0;
   telemetry::MetricId h_evals_per_query_ = 0;
 };
 
@@ -331,9 +355,11 @@ class DistributedQueryService {
                           DistanceFn distance)
       : env_(&env) {
     ranks_.reserve(static_cast<std::size_t>(env.num_ranks()));
+    const std::size_t threads =
+        resolve_threads(runner.config().threads_per_rank);
     for (int r = 0; r < env.num_ranks(); ++r) {
       ranks_.push_back(std::make_unique<QueryEngineRank<T, DistanceFn>>(
-          env.comm(r), distance, runner.partition()));
+          env.comm(r), distance, runner.partition(), threads));
     }
     std::vector<std::uint64_t> counts;
     counts.reserve(ranks_.size());

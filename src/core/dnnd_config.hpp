@@ -34,6 +34,16 @@ struct DnndConfig {
   /// reverse-edge merge (paper default 1.5).
   double prune_factor_m = 1.5;
 
+  // -- intra-rank parallelism --------------------------------------------
+  /// Worker threads per simulated rank for the hot per-rank loops
+  /// (core/thread_pool.hpp). 0 = auto: DNND_THREADS_PER_RANK from the
+  /// environment, else 1 (today's serial path, no threads spawned). The
+  /// deterministic-reduction design makes the built graph, the
+  /// convergence counter, and every metrics counter bit-identical for
+  /// any value, so this is purely a throughput knob — it is deliberately
+  /// NOT checkpointed, and a run may resume under a different count.
+  std::size_t threads_per_rank = 0;
+
   std::uint64_t seed = 7;
 };
 

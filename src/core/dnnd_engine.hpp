@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "comm/communicator.hpp"
@@ -42,6 +43,7 @@
 #include "core/knn_graph.hpp"
 #include "core/neighbor_list.hpp"
 #include "core/partition.hpp"
+#include "core/thread_pool.hpp"
 #include "core/types.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
@@ -59,9 +61,18 @@ class DnndEngine {
         distance_(std::move(distance)),
         partition_(std::move(partition)),
         rng_(util::Xoshiro256(config.seed).fork(
-            static_cast<std::uint64_t>(comm.rank()))) {
+            static_cast<std::uint64_t>(comm.rank()))),
+        pool_(resolve_threads(config.threads_per_rank)) {
     c_distance_evals_ = comm_->telemetry().counter("engine.distance_evals");
     c_updates_ = comm_->telemetry().counter("engine.updates");
+    // Pool tasks dispatched by this rank's staged phases. The task
+    // decomposition is a pure function of the work shape (size + grain),
+    // so the count is bit-identical across thread counts; each task
+    // increments from its executing thread (the relaxed-atomic counter
+    // hot path). Excluded from the metrics-regression diff as a
+    // schedule-shape counter — the parity tests assert it directly.
+    c_tasks_ = comm_->telemetry().counter("engine.tasks");
+    pool_.set_telemetry(&comm_->telemetry(), c_tasks_);
     register_handlers();
   }
 
@@ -209,28 +220,36 @@ class DnndEngine {
 
   /// Drops dangling references to removed vertices from every local list.
   /// Rows that lost neighbors are re-flagged as new so the next
-  /// refinement iterations re-explore around them.
+  /// refinement iterations re-explore around them. Each vertex's rebuild
+  /// touches only its own list, so the loop parallelizes as vertex
+  /// blocks with no cross-task state at all.
   void repair_after_removal(const std::vector<VertexId>& removed_sorted) {
     auto is_removed = [&](VertexId id) {
       return std::binary_search(removed_sorted.begin(), removed_sorted.end(),
                                 id);
     };
-    for (const VertexId v : points_.ids()) {
-      auto& list = lists_.at(v);
-      bool lost = false;
-      NeighborList rebuilt(config_.k);
-      for (const Neighbor& n : list.entries()) {
-        if (is_removed(n.id)) {
-          lost = true;
-        } else {
-          rebuilt.update(n.id, n.distance, n.is_new);
-        }
-      }
-      if (lost) {
-        for (Neighbor& n : rebuilt.entries()) n.is_new = true;
-        list = std::move(rebuilt);
-      }
-    }
+    const auto& ids = points_.ids();
+    pool_.for_blocks(
+        ids.size(), kVertexGrain,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            auto& list = lists_.at(ids[i]);
+            bool lost = false;
+            NeighborList rebuilt(config_.k);
+            for (const Neighbor& n : list.entries()) {
+              if (is_removed(n.id)) {
+                lost = true;
+              } else {
+                rebuilt.update(n.id, n.distance, n.is_new);
+              }
+            }
+            if (lost) {
+              for (Neighbor& n : rebuilt.entries()) n.is_new = true;
+              list = std::move(rebuilt);
+            }
+          }
+        },
+        "repair");
   }
 
   // ---- phase: sampling + reversed matrices (Alg. 1 lines 8–16, §4.2) -----
@@ -246,6 +265,13 @@ class DnndEngine {
   /// the visit order makes the sampled subset — and hence the whole build —
   /// a function of list *content* only, so any two schedules that deliver
   /// the same messages produce the same graph.
+  /// Staged for intra-rank threading: stage 1 (parallel, slot = local
+  /// vertex index) computes each list's canonical split — pure reads of
+  /// list content plus a private sort; stage 2 (sequential, local-index
+  /// order) owns everything schedule-sensitive: the rng stream, the
+  /// is_new flag flips, and the emission order. The rng consumption and
+  /// the outbound byte stream are identical to the fused serial loop for
+  /// any thread count.
   void sample_and_emit_reverse() {
     const std::size_t sample_k = scaled_sample_k();
     old_ids_.clear();
@@ -253,34 +279,50 @@ class DnndEngine {
     rev_old_.clear();
     rev_new_.clear();
 
+    const auto& ids = points_.ids();
+    struct SplitSlot {
+      std::vector<VertexId> old_list;  ///< old ids, canonical order
+      std::vector<std::size_t> fresh;  ///< fresh entry indices, canonical
+    };
+    std::vector<SplitSlot> slots(ids.size());
+    pool_.for_blocks(
+        ids.size(), kVertexGrain,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const auto entries = std::as_const(lists_.at(ids[i])).entries();
+            std::vector<std::size_t> order(entries.size());
+            for (std::size_t e = 0; e < entries.size(); ++e) order[e] = e;
+            std::sort(order.begin(), order.end(),
+                      [&](std::size_t a, std::size_t b) {
+                        return entries[a].distance < entries[b].distance ||
+                               (entries[a].distance == entries[b].distance &&
+                                entries[a].id < entries[b].id);
+                      });
+            for (const std::size_t e : order) {
+              if (entries[e].is_new) {
+                slots[i].fresh.push_back(e);
+              } else {
+                slots[i].old_list.push_back(entries[e].id);
+              }
+            }
+          }
+        },
+        "sample_split");
+
     struct RevEntry {
       VertexId target;
       VertexId source;
       std::uint8_t is_new;
     };
     std::vector<RevEntry> outbound;
-
-    for (const VertexId v : points_.ids()) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const VertexId v = ids[i];
       auto entries = lists_.at(v).entries();
-      std::vector<std::size_t> order(entries.size());
-      for (std::size_t e = 0; e < entries.size(); ++e) order[e] = e;
-      std::sort(order.begin(), order.end(),
-                [&](std::size_t a, std::size_t b) {
-                  return entries[a].distance < entries[b].distance ||
-                         (entries[a].distance == entries[b].distance &&
-                          entries[a].id < entries[b].id);
-                });
-      std::vector<std::size_t> fresh;
-      auto& old_list = old_ids_[v];
-      for (const std::size_t e : order) {
-        if (entries[e].is_new) {
-          fresh.push_back(e);
-        } else {
-          old_list.push_back(entries[e].id);
-        }
-      }
+      auto& fresh = slots[i].fresh;
       util::shuffle(fresh.begin(), fresh.end(), rng_);
       const std::size_t take = std::min(sample_k, fresh.size());
+      auto& old_list = old_ids_[v];
+      old_list = std::move(slots[i].old_list);
       auto& new_list = new_ids_[v];
       for (std::size_t s = 0; s < take; ++s) {
         entries[fresh[s]].is_new = false;
@@ -302,9 +344,29 @@ class DnndEngine {
   /// neighbor-check cursor.
   void merge_reverse_and_prepare_checks() {
     const std::size_t sample_k = scaled_sample_k();
-    for (const VertexId v : points_.ids()) {
-      merge_sample(old_ids_[v], rev_old_[v], sample_k);
-      merge_sample(new_ids_[v], rev_new_[v], sample_k);
+    // Stage 1: collect every reversed list (map operator[] may insert,
+    // so this walk stays sequential), then run the canonical pre-sort —
+    // the schedule-independence sort merge_sample requires — in parallel;
+    // each task sorts disjoint vectors in place. Stage 2 (sequential)
+    // owns the rng stream.
+    const auto& ids = points_.ids();
+    std::vector<std::vector<VertexId>*> rev_lists;
+    rev_lists.reserve(2 * ids.size());
+    for (const VertexId v : ids) {
+      rev_lists.push_back(&rev_old_[v]);
+      rev_lists.push_back(&rev_new_[v]);
+    }
+    pool_.for_blocks(
+        rev_lists.size(), kVertexGrain,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            std::sort(rev_lists[i]->begin(), rev_lists[i]->end());
+          }
+        },
+        "rev_sort");
+    for (const VertexId v : ids) {
+      merge_presorted(old_ids_[v], rev_old_[v], sample_k);
+      merge_presorted(new_ids_[v], rev_new_[v], sample_k);
     }
     rev_old_.clear();
     rev_new_.clear();
@@ -357,41 +419,76 @@ class DnndEngine {
 
   // ---- phase: graph optimization (§4.5) -----------------------------------
 
-  /// Sends every edge's reverse to the target's owner.
+  /// Sends every edge's reverse to the target's owner. Staged: the
+  /// reverse-edge tuples are constructed in parallel (slot = local
+  /// vertex index, pure reads of the lists), then emitted sequentially
+  /// in local-index order — the byte stream on the wire is identical to
+  /// the fused serial loop.
   void emit_reverse_edges() {
     extra_edges_.clear();
-    for (const VertexId v : points_.ids()) {
-      for (const Neighbor& n : lists_.at(v).entries()) {
-        comm_->async(partition_.owner(n.id), h_rev_edge_, n.id,
-                     v, n.distance);
+    const auto& ids = points_.ids();
+    struct RevEdge {
+      VertexId target;
+      Dist distance;
+    };
+    std::vector<std::vector<RevEdge>> slots(ids.size());
+    pool_.for_blocks(
+        ids.size(), kVertexGrain,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            for (const Neighbor& n :
+                 std::as_const(lists_.at(ids[i])).entries()) {
+              slots[i].push_back({n.id, n.distance});
+            }
+          }
+        },
+        "rev_edge_build");
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      for (const RevEdge& e : slots[i]) {
+        comm_->async(partition_.owner(e.target), h_rev_edge_, e.target,
+                     ids[i], e.distance);
       }
     }
   }
 
-  /// Merges received reverse edges, dedups, prunes to k·m (closest first).
+  /// Merges received reverse edges, dedups, prunes to k·m (closest
+  /// first). Each output row is a pure function of one vertex's list and
+  /// extra_edges_ entry, so the rows build in parallel slots and are
+  /// committed in local-index order.
   void finalize_optimization() {
     const auto max_degree = static_cast<std::size_t>(
         static_cast<double>(config_.k) * config_.prune_factor_m);
+    const auto& ids = points_.ids();
+    const auto& extra = extra_edges_;  // const view: find only, no insert
+    std::vector<std::vector<Neighbor>> rows(ids.size());
+    pool_.for_blocks(
+        ids.size(), kVertexGrain,
+        [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            std::vector<Neighbor> row = lists_.at(ids[i]).sorted();
+            const auto it = extra.find(ids[i]);
+            if (it != extra.end()) {
+              row.insert(row.end(), it->second.begin(), it->second.end());
+            }
+            std::sort(row.begin(), row.end(),
+                      [](const Neighbor& a, const Neighbor& b) {
+                        return a.distance < b.distance ||
+                               (a.distance == b.distance && a.id < b.id);
+                      });
+            row.erase(std::unique(row.begin(), row.end(),
+                                  [](const Neighbor& a, const Neighbor& b) {
+                                    return a.id == b.id;
+                                  }),
+                      row.end());
+            if (row.size() > max_degree) row.resize(max_degree);
+            rows[i] = std::move(row);
+          }
+        },
+        "optimize_rows");
     optimized_rows_.clear();
-    optimized_rows_.reserve(points_.size());
-    for (const VertexId v : points_.ids()) {
-      std::vector<Neighbor> row = lists_.at(v).sorted();
-      const auto it = extra_edges_.find(v);
-      if (it != extra_edges_.end()) {
-        row.insert(row.end(), it->second.begin(), it->second.end());
-      }
-      std::sort(row.begin(), row.end(),
-                [](const Neighbor& a, const Neighbor& b) {
-                  return a.distance < b.distance ||
-                         (a.distance == b.distance && a.id < b.id);
-                });
-      row.erase(std::unique(row.begin(), row.end(),
-                            [](const Neighbor& a, const Neighbor& b) {
-                              return a.id == b.id;
-                            }),
-                row.end());
-      if (row.size() > max_degree) row.resize(max_degree);
-      optimized_rows_.emplace_back(v, std::move(row));
+    optimized_rows_.reserve(ids.size());
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      optimized_rows_.emplace_back(ids[i], std::move(rows[i]));
     }
     extra_edges_.clear();
   }
@@ -440,6 +537,11 @@ class DnndEngine {
   }
 
  private:
+  /// Grain for staged vertex-block stages. A fixed constant (never a
+  /// function of the thread count) so the task decomposition — and the
+  /// engine.tasks counter — is bit-identical for any threads_per_rank.
+  static constexpr std::size_t kVertexGrain = 256;
+
   std::size_t scaled_sample_k() const noexcept {
     return static_cast<std::size_t>(config_.rho *
                                     static_cast<double>(config_.k));
@@ -476,14 +578,14 @@ class DnndEngine {
     return comm_->size() - 1;
   }
 
-  void merge_sample(std::vector<VertexId>& dst, std::vector<VertexId>& rev,
-                    std::size_t sample_k) {
+  void merge_presorted(std::vector<VertexId>& dst, std::vector<VertexId>& rev,
+                       std::size_t sample_k) {
     // Reversed entries accumulate in arrival order, which is a property of
-    // the delivery schedule, not of the algorithm. Sort before sampling so
-    // the rng draw is applied to a canonical order and the merge result is
+    // the delivery schedule, not of the algorithm. The caller sorts before
+    // sampling (in parallel, see merge_reverse_and_prepare_checks) so the
+    // rng draw is applied to a canonical order and the merge result is
     // schedule-independent (entries are distinct: each center emits one
     // reverse entry per neighbor).
-    std::sort(rev.begin(), rev.end());
     util::shuffle(rev.begin(), rev.end(), rng_);
     const std::size_t take = std::min(sample_k, rev.size());
     for (std::size_t i = 0; i < take; ++i) {
@@ -641,6 +743,7 @@ class DnndEngine {
   DistanceFn distance_;
   Partition partition_;
   util::Xoshiro256 rng_;
+  ThreadPool pool_;
 
   FeatureStore<T> points_;
   std::uint64_t global_n_ = 0;
@@ -685,6 +788,7 @@ class DnndEngine {
 
   telemetry::MetricId c_distance_evals_ = 0;
   telemetry::MetricId c_updates_ = 0;
+  telemetry::MetricId c_tasks_ = 0;
 };
 
 }  // namespace dnnd::core

@@ -31,6 +31,17 @@ bool is_time_valued(const std::string& name) {
          name.ends_with("_ticks");
 }
 
+/// True for counters that describe the parallel schedule's *shape*
+/// (thread-pool tasks dispatched), not algorithmic work. They are a pure
+/// function of the work size and are asserted bit-identical across
+/// thread counts by the determinism tests — but baselines recorded
+/// before a loop was staged (or with a different grain) would diff
+/// against them spuriously, so the regression gate skips them the same
+/// way it skips wall-clock values.
+bool is_schedule_shape(const std::string& name) {
+  return name.ends_with(".tasks");
+}
+
 /// Flattens the deterministic counters of a dnnd.metrics.v1 document into
 /// a single name → value map with namespaced keys. Registry counters are
 /// included only when `with_registry` — handler/transport message stats
@@ -53,7 +64,7 @@ std::map<std::string, double> flatten_counters(const Value& doc,
   if (with_registry) {
     for (const auto& [name, value] :
          doc.at("metrics").at("counters").as_object()) {
-      if (is_time_valued(name)) continue;
+      if (is_time_valued(name) || is_schedule_shape(name)) continue;
       out["counter." + name] = value.as_number();
     }
   }

@@ -23,10 +23,16 @@
 // correctly; a name registered with different kinds on the two sides is a
 // programming error and throws without modifying the destination.
 //
-// Thread safety: none. One registry belongs to one rank and is only
-// touched by that rank's thread, exactly like MessageStats.
+// Thread safety: counter add() is safe to call concurrently from one
+// rank's thread-pool workers — the hot-path increment is a relaxed
+// atomic fetch_add (RelaxedCounter below), and reads/merges happen after
+// the pool's join, which orders them. Everything else (registration,
+// gauges, histograms, merge, reset, write_json) keeps the original
+// discipline: one registry belongs to one rank and is only touched by
+// that rank's driver thread, exactly like MessageStats.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
@@ -148,6 +154,42 @@ class LogHistogram {
   std::uint64_t max_ = 0;
 };
 
+/// Counter cell whose increment is a relaxed atomic fetch_add, so pool
+/// workers inside one rank can bump shared counters (engine.tasks,
+/// engine.distance_evals from parallel eval tasks) without a data race.
+/// Relaxed is sufficient: counters are pure sums with no ordering
+/// relationship to other data, and every read that matters happens after
+/// the pool's join barrier. Copy/assign use relaxed load+store so the
+/// value-semantics the registry relies on (vector relocation on intern,
+/// Metric copies in merge) keep working; those only ever run on the
+/// driver thread while no workers are recording.
+class RelaxedCounter {
+ public:
+  RelaxedCounter() noexcept = default;
+  RelaxedCounter(std::uint64_t v) noexcept : v_(v) {}  // NOLINT(*-explicit-*)
+  RelaxedCounter(const RelaxedCounter& other) noexcept
+      : v_(other.v_.load(std::memory_order_relaxed)) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) noexcept {
+    v_.store(other.v_.load(std::memory_order_relaxed),
+             std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator=(std::uint64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(std::uint64_t n) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+    return *this;
+  }
+  operator std::uint64_t() const noexcept {  // NOLINT(*-explicit-*)
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
 class MetricsRegistry {
  public:
   /// One named metric's full state. Public so read-only consumers (the
@@ -156,7 +198,7 @@ class MetricsRegistry {
   struct Metric {
     std::string name;
     MetricKind kind = MetricKind::kCounter;
-    std::uint64_t counter = 0;
+    RelaxedCounter counter;
     std::int64_t gauge = 0;
     std::int64_t gauge_peak = std::numeric_limits<std::int64_t>::min();
     LogHistogram hist;

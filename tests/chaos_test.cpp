@@ -79,7 +79,10 @@ const core::KnnGraph& exact_graph() {
 }
 
 /// Schedule-independent engine configuration (see file comment).
-DnndConfig chaos_config(std::uint64_t engine_seed) {
+/// `threads` is the intra-rank pool size: the matrix pins the reference
+/// to 1 and spot-checks threads = 4 cases against it, proving fault
+/// recovery and intra-rank threading compose without losing a bit.
+DnndConfig chaos_config(std::uint64_t engine_seed, std::size_t threads = 1) {
   DnndConfig cfg;
   cfg.k = kK;
   cfg.delta = 0.0;
@@ -87,6 +90,7 @@ DnndConfig chaos_config(std::uint64_t engine_seed) {
   cfg.batch_size = 4096;  // small batches: many barriers under faults
   cfg.redundant_check_reduction = false;
   cfg.seed = engine_seed;
+  cfg.threads_per_rank = threads;
   return cfg;
 }
 
@@ -184,6 +188,7 @@ struct ChaosCase {
   std::uint64_t engine_seed;
   std::size_t plan_index;
   DriverKind driver;
+  std::size_t threads = 1;  ///< intra-rank pool size (Config::threads_per_rank)
 };
 
 std::string case_name(const ::testing::TestParamInfo<ChaosCase>& info) {
@@ -191,6 +196,9 @@ std::string case_name(const ::testing::TestParamInfo<ChaosCase>& info) {
   std::string name = plans[info.param.plan_index].name;
   name += "_s" + std::to_string(info.param.engine_seed);
   name += info.param.driver == DriverKind::kSequential ? "_seq" : "_thr";
+  if (info.param.threads > 1) {
+    name += "_t" + std::to_string(info.param.threads);
+  }
   return name;
 }
 
@@ -210,6 +218,13 @@ std::vector<ChaosCase> make_cases() {
     cases.push_back(ChaosCase{seed, 2, DriverKind::kThreaded});
     cases.push_back(ChaosCase{seed, 4, DriverKind::kThreaded});
   }
+  // ...plus intra-rank-threaded spot checks: faults AND a 4-thread pool,
+  // still bit-identical to the single-threaded fault-free reference.
+  for (std::uint64_t seed : {12ULL, 13ULL}) {
+    cases.push_back(ChaosCase{seed, 1, DriverKind::kSequential, 4});
+    cases.push_back(ChaosCase{seed, 4, DriverKind::kSequential, 4});
+  }
+  cases.push_back(ChaosCase{14, 2, DriverKind::kThreaded, 4});
   return cases;
 }
 
@@ -274,7 +289,8 @@ TEST_P(ChaosBuild, ReachesQuiescenceWithBitIdenticalGraph) {
   Config cfg{.num_ranks = kRanks, .driver = c.driver};
   cfg.fault_plan = plan;
   Environment env(cfg);
-  DnndRunner<float, L2Fn> runner(env, chaos_config(c.engine_seed), L2Fn{});
+  DnndRunner<float, L2Fn> runner(env, chaos_config(c.engine_seed, c.threads),
+                                 L2Fn{});
   runner.distribute(dataset());
   runner.build();
 

@@ -1,0 +1,277 @@
+// Property tests for the striped-lock NeighborList update path.
+//
+// Two distinct guarantees are exercised (see neighbor_list.hpp):
+//
+//   1. Canonical merge (the production path in nn_descent's
+//      apply_pending): partitioning a pending-update stream by target
+//      stripe — one pool task per stripe, stream order preserved within
+//      the task — yields the SAME final lists and the SAME summed return
+//      codes as the serial fold, bit for bit, for ANY stream (duplicate
+//      ids, tied distances, repeated targets). This holds because
+//      updates to one list commute with updates to any other, and each
+//      list's own update subsequence arrives in stream order.
+//
+//   2. Contended convergence (the hammer): under arbitrary thread
+//      interleavings through update_locked(), the final contents still
+//      equal the serial canonical fold whenever every (list, candidate)
+//      pair carries one fixed distance and distances are distinct within
+//      a list — the list converges to its K smallest-distance candidates
+//      regardless of arrival order. (Summed return codes ARE
+//      interleaving-dependent here, so only contents are asserted.)
+//
+// The hammer is the TSan workload for this subsystem: every access to a
+// list goes through its stripe mutex, so tests/run_matrix.sh's tsan leg
+// would flag any unlocked path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/neighbor_list.hpp"
+#include "core/thread_pool.hpp"
+#include "core/types.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dnnd;  // NOLINT
+using core::Dist;
+using core::NeighborList;
+using core::StripedNeighborLocks;
+using core::ThreadPool;
+using core::VertexId;
+
+struct Update {
+  VertexId target;
+  VertexId candidate;
+  Dist distance;
+  bool is_new;
+};
+
+/// Serial canonical fold: the ground truth both properties compare to.
+std::uint64_t apply_serial(std::vector<NeighborList>& lists,
+                           const std::vector<Update>& stream) {
+  std::uint64_t c = 0;
+  for (const Update& u : stream) {
+    c += static_cast<std::uint64_t>(
+        lists[u.target].update(u.candidate, u.distance, u.is_new));
+  }
+  return c;
+}
+
+std::vector<NeighborList> make_lists(std::size_t n, std::size_t capacity) {
+  std::vector<NeighborList> lists;
+  lists.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) lists.emplace_back(capacity);
+  return lists;
+}
+
+bool same_rows(const std::vector<NeighborList>& a,
+               const std::vector<NeighborList>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].sorted() != b[i].sorted()) return false;
+  }
+  return true;
+}
+
+/// Adversarial stream: repeated targets, duplicate candidate ids with
+/// DIFFERENT distances (order-dependent on purpose — the canonical merge
+/// must still match), ties, and distances clustered so capacity eviction
+/// churns.
+std::vector<Update> random_stream(std::size_t num_lists, std::size_t length,
+                                  std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<Update> stream;
+  stream.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    Update u;
+    u.target = static_cast<VertexId>(rng.uniform_below(num_lists));
+    u.candidate = static_cast<VertexId>(rng.uniform_below(64));
+    // Quantized distances: plenty of exact ties and duplicates.
+    u.distance = static_cast<Dist>(rng.uniform_below(32)) * 0.5f;
+    u.is_new = rng.uniform_below(2) == 1;
+    stream.push_back(u);
+  }
+  return stream;
+}
+
+// -- property 1: canonical stripe merge == serial fold -----------------------
+
+class StripedMerge
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(StripedMerge, MatchesSerialFoldExactly) {
+  const auto [threads, capacity] = GetParam();
+  constexpr std::size_t kLists = 24;
+  StripedNeighborLocks locks;  // 8 stripes over 24 lists
+  ThreadPool pool(threads);
+
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto stream = random_stream(kLists, 800, seed);
+
+    auto serial = make_lists(kLists, capacity);
+    const std::uint64_t serial_c = apply_serial(serial, stream);
+
+    // The production merge shape: one task per stripe, each holding its
+    // stripe lock across the scan, per-stripe counters summed in stripe
+    // order (exactly nn_descent's apply_pending).
+    auto striped = make_lists(kLists, capacity);
+    std::vector<std::uint64_t> stripe_c(locks.stripes(), 0);
+    pool.run(locks.stripes(), [&](std::size_t s) {
+      std::uint64_t local = 0;
+      const std::lock_guard<std::mutex> lock(locks.mutex_at(s));
+      for (const Update& u : stream) {
+        if (locks.stripe_of(u.target) != s) continue;
+        local += static_cast<std::uint64_t>(
+            striped[u.target].update(u.candidate, u.distance, u.is_new));
+      }
+      stripe_c[s] = local;
+    });
+    std::uint64_t striped_total = 0;
+    for (const std::uint64_t c : stripe_c) striped_total += c;
+
+    EXPECT_TRUE(same_rows(serial, striped))
+        << "threads=" << threads << " capacity=" << capacity
+        << " seed=" << seed;
+    EXPECT_EQ(striped_total, serial_c)
+        << "threads=" << threads << " capacity=" << capacity
+        << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, StripedMerge,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 4, 8),
+                       ::testing::Values<std::size_t>(1, 4, 10)),
+    [](const auto& info) {
+      return "t" + std::to_string(std::get<0>(info.param)) + "_cap" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// -- property 2: update_locked hammer ----------------------------------------
+
+struct HammerCase {
+  std::size_t threads;
+  std::size_t capacity;
+  std::size_t candidates;  ///< per list; < capacity exercises underfill
+};
+
+std::string hammer_name(const ::testing::TestParamInfo<HammerCase>& info) {
+  return "t" + std::to_string(info.param.threads) + "_cap" +
+         std::to_string(info.param.capacity) + "_c" +
+         std::to_string(info.param.candidates);
+}
+
+class LockedHammer : public ::testing::TestWithParam<HammerCase> {};
+
+TEST_P(LockedHammer, ConvergesToSerialFoldUnderContention) {
+  const HammerCase& c = GetParam();
+  constexpr std::size_t kLists = 12;
+  util::Xoshiro256 rng(0xBEEF + c.threads * 131 + c.capacity);
+
+  // Fixed (list, candidate) -> distance map with DISTINCT distances per
+  // list: the convergence property's precondition. Candidate ids collide
+  // across lists on purpose (same id, different owner, different
+  // distance).
+  std::vector<std::vector<Update>> fixed(kLists);
+  for (std::size_t li = 0; li < kLists; ++li) {
+    std::vector<Dist> dists;
+    for (std::size_t j = 0; j < c.candidates; ++j) {
+      dists.push_back(1.0f + static_cast<Dist>(j) * 0.25f);
+    }
+    util::shuffle(dists.begin(), dists.end(), rng);
+    for (std::size_t j = 0; j < c.candidates; ++j) {
+      fixed[li].push_back(Update{static_cast<VertexId>(li),
+                                 static_cast<VertexId>(j), dists[j], true});
+    }
+  }
+
+  // Serial reference: fold each list's fixed updates in id order.
+  auto expected = make_lists(kLists, c.capacity);
+  for (const auto& per_list : fixed) apply_serial(expected, per_list);
+
+  // Each worker gets its own shuffled copy of the FULL update set
+  // (every pair appears in every worker: maximal duplication), then all
+  // workers hammer the shared lists through update_locked concurrently.
+  std::vector<std::vector<Update>> schedules(c.threads);
+  for (std::size_t t = 0; t < c.threads; ++t) {
+    for (const auto& per_list : fixed) {
+      schedules[t].insert(schedules[t].end(), per_list.begin(),
+                          per_list.end());
+    }
+    util::shuffle(schedules[t].begin(), schedules[t].end(), rng);
+  }
+
+  StripedNeighborLocks locks;
+  auto lists = make_lists(kLists, c.capacity);
+  std::vector<std::thread> workers;
+  workers.reserve(c.threads);
+  for (std::size_t t = 0; t < c.threads; ++t) {
+    workers.emplace_back([&, t]() {
+      for (const Update& u : schedules[t]) {
+        lists[u.target].update_locked(locks, u.target, u.candidate,
+                                      u.distance, u.is_new);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  EXPECT_TRUE(same_rows(lists, expected))
+      << "contended result diverged from the serial canonical fold";
+  // Spot-check the convergence property directly: each list holds its
+  // min(capacity, candidates) smallest distances.
+  for (std::size_t li = 0; li < kLists; ++li) {
+    const auto row = lists[li].sorted();
+    ASSERT_EQ(row.size(), std::min(c.capacity, c.candidates)) << li;
+    std::vector<Dist> want;
+    for (const Update& u : fixed[li]) want.push_back(u.distance);
+    std::sort(want.begin(), want.end());
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      EXPECT_EQ(row[j].distance, want[j]) << "list " << li << " slot " << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, LockedHammer,
+    ::testing::Values(HammerCase{2, 4, 16}, HammerCase{4, 4, 16},
+                      HammerCase{8, 4, 16}, HammerCase{4, 1, 16},
+                      HammerCase{4, 10, 6},  // underfilled: never evicts
+                      HammerCase{8, 16, 48}),
+    hammer_name);
+
+// -- plumbing sanity ---------------------------------------------------------
+
+TEST(StripedLocks, StripeOfIsStableAndInRange) {
+  StripedNeighborLocks locks(8);
+  EXPECT_EQ(locks.stripes(), 8u);
+  for (VertexId id = 0; id < 100; ++id) {
+    const std::size_t s = locks.stripe_of(id);
+    EXPECT_LT(s, locks.stripes());
+    EXPECT_EQ(s, locks.stripe_of(id));  // pure function of the id
+  }
+  // Degenerate request still yields a usable lock set.
+  StripedNeighborLocks one(0);
+  EXPECT_EQ(one.stripes(), 1u);
+  EXPECT_EQ(one.stripe_of(12345), 0u);
+}
+
+TEST(UpdateLocked, EqualsPlainUpdateSingleThreaded) {
+  StripedNeighborLocks locks;
+  NeighborList plain(4), locked(4);
+  util::Xoshiro256 rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const auto id = static_cast<VertexId>(rng.uniform_below(32));
+    const auto d = static_cast<Dist>(rng.uniform_below(64)) * 0.25f;
+    const int a = plain.update(id, d, true);
+    const int b = locked.update_locked(locks, 5, id, d, true);
+    EXPECT_EQ(a, b);
+  }
+  EXPECT_EQ(plain.sorted(), locked.sorted());
+}
+
+}  // namespace

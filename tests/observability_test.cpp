@@ -168,7 +168,10 @@ std::uint64_t ping_remote_bytes(std::uint64_t trace_sample_period) {
       env.comm(rank).async(1 - rank, h[0], i);
     }
   });
-  const auto& row = env.aggregate_stats().handlers().front();
+  // aggregate_stats() returns by value — keep it alive past this statement
+  // or `row` dangles (caught by the TSan matrix leg).
+  const auto stats = env.aggregate_stats();
+  const auto& row = stats.handlers().front();
   EXPECT_EQ(row.remote_messages, 20u);
   return row.remote_bytes;
 }

@@ -26,12 +26,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,7 @@
 #include "core/recovery.hpp"
 #include "data/synthetic.hpp"
 #include "mpi/fault_injector.hpp"
+#include "pmem/manager.hpp"
 
 namespace {
 
@@ -90,7 +93,11 @@ const core::KnnGraph& exact_graph() {
 }
 
 /// Schedule-independent engine configuration (see file comment).
-DnndConfig chaos_config(std::uint64_t engine_seed) {
+/// `threads` sizes the intra-rank pool; the fault-free reference is
+/// pinned to 1, and threads = 4 kill-and-resume cases must still match it
+/// bit for bit (threads_per_rank is deliberately NOT checkpointed, so a
+/// resume may run under a different thread count than the cut).
+DnndConfig chaos_config(std::uint64_t engine_seed, std::size_t threads = 1) {
   DnndConfig cfg;
   cfg.k = kK;
   cfg.delta = 0.0;
@@ -98,6 +105,7 @@ DnndConfig chaos_config(std::uint64_t engine_seed) {
   cfg.batch_size = 4096;
   cfg.redundant_check_reduction = false;
   cfg.seed = engine_seed;
+  cfg.threads_per_rank = threads;
   return cfg;
 }
 
@@ -170,11 +178,16 @@ std::string fresh_ckpt_dir(const std::string& tag) {
 struct RecoveryCase {
   std::uint64_t engine_seed;
   std::size_t plan_index;
+  std::size_t threads = 1;  ///< intra-rank pool size during every attempt
 };
 
 std::string case_name(const ::testing::TestParamInfo<RecoveryCase>& info) {
-  return std::string(kill_plans()[info.param.plan_index].name) + "_s" +
-         std::to_string(info.param.engine_seed);
+  std::string name = std::string(kill_plans()[info.param.plan_index].name) +
+                     "_s" + std::to_string(info.param.engine_seed);
+  if (info.param.threads > 1) {
+    name += "_t" + std::to_string(info.param.threads);
+  }
+  return name;
 }
 
 std::vector<RecoveryCase> make_cases() {
@@ -185,7 +198,12 @@ std::vector<RecoveryCase> make_cases() {
       cases.push_back(RecoveryCase{seed, p});
     }
   }
-  return cases;  // 2 seeds x 4 kill plans = 8 combinations
+  // ...plus intra-rank-threaded spot checks: crash-stop recovery with a
+  // 4-thread pool on every attempt, still bit-identical to the
+  // single-threaded fault-free reference.
+  cases.push_back(RecoveryCase{21, 1, 4});  // kill_r0_mid
+  cases.push_back(RecoveryCase{22, 3, 4});  // double_kill
+  return cases;  // 2 seeds x 4 kill plans + 2 threaded = 10 combinations
 }
 
 RecoveryOptions recovery_options(const KillPlan& plan) {
@@ -262,8 +280,9 @@ TEST_P(KillAndResume, ResumedGraphIsBitIdentical) {
                " DNND_CHAOS_PLAN=" + plan.name);
 
   CheckpointStore store(fresh_ckpt_dir(
-      std::string(plan.name) + "_s" + std::to_string(c.engine_seed)));
-  const DnndConfig cfg = chaos_config(c.engine_seed);
+      std::string(plan.name) + "_s" + std::to_string(c.engine_seed) + "_t" +
+      std::to_string(c.threads)));
+  const DnndConfig cfg = chaos_config(c.engine_seed, c.threads);
   auto result = core::run_build_with_recovery<float, L2Fn>(
       store, make_env_factory(plan),
       [&](Environment& env) {
@@ -429,6 +448,140 @@ TEST(Recovery, ResumeFromFinalCheckpointIsANoOp) {
   const auto stats = runner.resume_build();
   EXPECT_EQ(stats.iterations, 0u);
   EXPECT_TRUE(runner.gather() == reference(engine_seed).graph);
+}
+
+// -- intra-rank threading x checkpointing ------------------------------------
+
+/// Canonical byte rendering of every logical record load_checkpoint
+/// consumes from a generation file: meta, per-iteration update counts,
+/// and each rank's RNG stream + CSR rows (ids, offsets, and entries with
+/// exact distance bits and new/old flags). The raw arena image is NOT
+/// compared — pmem allocator bookkeeping makes it byte-unstable even
+/// between two identical runs — but these records ARE the checkpoint.
+std::string canonical_checkpoint_bytes(const std::string& path) {
+  auto manager = pmem::Manager::open(path);
+  std::ostringstream out;
+  auto* head = manager.find<core::CheckpointHead>("ckpt/head");
+  EXPECT_NE(head, nullptr) << path;
+  if (head == nullptr) return {};
+  const std::string sp = core::detail::slot_prefix("ckpt", head->active_slot);
+  auto* meta = manager.find<core::CheckpointMeta>(sp + "/meta");
+  EXPECT_NE(meta, nullptr) << path;
+  if (meta == nullptr) return {};
+  out << "meta " << meta->num_ranks << ' ' << meta->k << ' '
+      << meta->global_count << ' ' << meta->id_bound << ' '
+      << meta->completed_iterations << ' ' << meta->total_updates << ' '
+      << meta->seed << ' ' << meta->converged << '\n';
+  if (auto* updates = manager.find<core::CheckpointUpdates>(sp + "/updates")) {
+    out << "updates";
+    for (std::size_t i = 0; i < updates->counts.size(); ++i) {
+      out << ' ' << updates->counts[i];
+    }
+    out << '\n';
+  }
+  for (std::uint32_t r = 0; r < meta->num_ranks; ++r) {
+    const int rank = static_cast<int>(r);
+    auto* rng = manager.find<core::CheckpointRngState>(
+        core::detail::ckpt_name(sp, "rng", rank));
+    EXPECT_NE(rng, nullptr) << path << " rank " << rank;
+    if (rng == nullptr) return {};
+    out << "rng " << rank << ' ' << rng->s[0] << ' ' << rng->s[1] << ' '
+        << rng->s[2] << ' ' << rng->s[3] << '\n';
+    auto* rows = manager.find<core::CheckpointRows>(
+        core::detail::ckpt_name(sp, "rows", rank));
+    EXPECT_NE(rows, nullptr) << path << " rank " << rank;
+    if (rows == nullptr) return {};
+    out << "rows " << rank << '\n';
+    for (std::size_t i = 0; i < rows->ids.size(); ++i) {
+      out << rows->ids[i] << ':';
+      for (auto e = rows->row_offsets[i]; e < rows->row_offsets[i + 1]; ++e) {
+        const core::Neighbor& n = rows->entries[e];
+        out << ' ' << n.id << '/'
+            << std::bit_cast<std::uint32_t>(n.distance) << '/' << n.is_new;
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+// The checkpoint cut is a pure function of the algorithm state, and the
+// thread pool is invisible in every state bit — so two healthy builds
+// that differ ONLY in threads_per_rank must write generations whose
+// logical records are byte-equal. (threads_per_rank is deliberately not
+// checkpointed; this test would catch it leaking into the state.)
+TEST(Recovery, CheckpointGenerationsAreByteEqualAcrossThreadCounts) {
+  const std::uint64_t engine_seed = 28;
+  auto build_with_checkpoints = [&](std::size_t threads,
+                                    const std::string& tag) {
+    auto store = std::make_unique<CheckpointStore>(fresh_ckpt_dir(tag));
+    Config env_cfg{.num_ranks = kRanks};
+    Environment env(env_cfg);
+    DnndRunner<float, L2Fn> runner(env, chaos_config(engine_seed, threads),
+                                   L2Fn{});
+    runner.set_checkpoint_hook(1, [&](std::size_t, bool) {
+      core::write_checkpoint_generation(*store, runner, 16ull << 20);
+    });
+    runner.distribute(dataset());
+    runner.build();
+    return store;
+  };
+  const auto a = build_with_checkpoints(1, "bytes_t1");
+  const auto b = build_with_checkpoints(4, "bytes_t4");
+
+  const auto gens_a = a->generations();
+  const auto gens_b = b->generations();
+  ASSERT_EQ(gens_a.size(), gens_b.size());
+  ASSERT_GT(gens_a.size(), 0u);
+  for (std::size_t g = 0; g < gens_a.size(); ++g) {
+    EXPECT_EQ(gens_a[g].generation, gens_b[g].generation);
+    EXPECT_EQ(gens_a[g].iteration, gens_b[g].iteration);
+    const auto bytes_a =
+        canonical_checkpoint_bytes(a->directory() + "/" + gens_a[g].file);
+    const auto bytes_b =
+        canonical_checkpoint_bytes(b->directory() + "/" + gens_b[g].file);
+    ASSERT_FALSE(bytes_a.empty());
+    EXPECT_TRUE(bytes_a == bytes_b)
+        << "generation " << gens_a[g].generation
+        << " diverged between threads=1 and threads=4";
+  }
+}
+
+// A cut written under a 4-thread pool resumes under ANY thread count to
+// the same final bits — threads_per_rank is a runtime knob, not state.
+TEST(Recovery, ResumeUnderDifferentThreadCountIsBitIdentical) {
+  const std::uint64_t engine_seed = 29;
+  CheckpointStore store(fresh_ckpt_dir("cross_thread_resume"));
+  {
+    Config env_cfg{.num_ranks = kRanks};
+    Environment env(env_cfg);
+    DnndRunner<float, L2Fn> runner(env, chaos_config(engine_seed, 4),
+                                   L2Fn{});
+    // Checkpoint only the first few iterations: the newest generation is
+    // a genuine mid-build cut, so the resume below replays real work.
+    runner.set_checkpoint_hook(1, [&](std::size_t iteration, bool) {
+      if (iteration <= 4) {
+        core::write_checkpoint_generation(store, runner, 16ull << 20);
+      }
+    });
+    runner.distribute(dataset());
+    runner.build();
+  }
+  const auto newest = store.open_latest();
+  ASSERT_TRUE(newest.has_value());
+  ASSERT_LE(newest->iteration, 4u);
+
+  for (const std::size_t resume_threads : {std::size_t{1}, std::size_t{8}}) {
+    Config env_cfg{.num_ranks = kRanks};
+    Environment env(env_cfg);
+    DnndRunner<float, L2Fn> runner(
+        env, chaos_config(engine_seed, resume_threads), L2Fn{});
+    ASSERT_TRUE(core::load_latest_generation(store, runner).has_value());
+    EXPECT_EQ(runner.completed_iterations(), newest->iteration);
+    runner.resume_build();
+    EXPECT_TRUE(runner.gather() == reference(engine_seed).graph)
+        << "resume_threads=" << resume_threads;
+  }
 }
 
 // A resumed build must use the original engine seed — the checkpoint

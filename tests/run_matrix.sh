@@ -12,6 +12,14 @@
 #                  produces bit-identical graphs AND identical metrics
 #                  counters, so the same committed metrics baseline must
 #                  gate it unchanged)
+#   tsan           DNND_SANITIZE=thread, run with DNND_THREADS_PER_RANK=4:
+#                  every auto-threaded pool (NN-Descent hot loops, engine
+#                  phases, query handlers, the NeighborList striped-lock
+#                  hammer) runs under ThreadSanitizer with real workers.
+#                  The thread-count determinism contract says this leg's
+#                  graphs and counters are bit-identical to serial runs,
+#                  so the SAME committed metrics baseline gates it
+#                  unchanged — with 4 threads on.
 #
 # Usage:
 #   tests/run_matrix.sh            # whole matrix
@@ -27,6 +35,15 @@ declare -A configs=(
   [default]="-DDNND_TELEMETRY=ON"
   [telemetry-off]="-DDNND_TELEMETRY=OFF"
   [simd-off]="-DDNND_SIMD=OFF"
+  [tsan]="-DDNND_SANITIZE=thread"
+)
+
+# Per-configuration run environment (prepended to every test/gate command).
+# The tsan leg forces a 4-worker pool into every threads_per_rank=0 (auto)
+# component so TSan watches real cross-thread traffic; determinism means
+# nothing else about the run may change.
+declare -A run_env=(
+  [tsan]="DNND_THREADS_PER_RANK=4"
 )
 
 selected=("${!configs[@]}")
@@ -46,17 +63,30 @@ for name in "${selected[@]}"; do
   # shellcheck disable=SC2086 — the flags string is intentionally split
   cmake -B "$build_dir" -S . ${configs[$name]}
   cmake --build "$build_dir" -j
-  (cd "$build_dir" && ctest -L tier1 --output-on-failure -j "$(nproc)")
+  # shellcheck disable=SC2086 — the env string is intentionally split
+  (cd "$build_dir" &&
+   env ${run_env[$name]:-} ctest -L tier1 --output-on-failure -j "$(nproc)")
   # Kill-and-resume recovery must hold in every flavour: checkpoint and
   # resume paths are instrumented, so a telemetry-off build exercising the
   # same matrix proves recovery does not depend on the counters existing.
+  # shellcheck disable=SC2086
   (cd "$build_dir" &&
-   ctest -L recovery --no-tests=error --output-on-failure -j "$(nproc)")
+   env ${run_env[$name]:-} \
+     ctest -L recovery --no-tests=error --output-on-failure -j "$(nproc)")
+  # The concurrency property tests (striped NeighborList hammer, thread
+  # parity matrix) must be present in every flavour — they are the TSan
+  # leg's main payload, and --no-tests=error catches a label typo.
+  # shellcheck disable=SC2086
+  (cd "$build_dir" &&
+   env ${run_env[$name]:-} \
+     ctest -L concurrency --no-tests=error --output-on-failure -j "$(nproc)")
   # Metrics regression gate in every flavour: the baseline is recorded
   # with tracing disabled, so handler byte counters must match even under
   # DNND_TELEMETRY=OFF — a mismatch there means telemetry leaked bytes
-  # into the message envelope.
-  tests/check_metrics_regression.sh "$build_dir"
+  # into the message envelope. The tsan leg runs the gate with
+  # DNND_THREADS_PER_RANK=4: threading may not move a single counter.
+  # shellcheck disable=SC2086
+  env ${run_env[$name]:-} tests/check_metrics_regression.sh "$build_dir"
 done
 
 echo "==== matrix passed: ${selected[*]} ===="
